@@ -1,0 +1,17 @@
+"""Extension ablation — prefetch-ahead depth of the tailored P2 policy (DESIGN.md §5)."""
+
+from repro.analysis.experiments_appendix import run_ablation_prefetch_depth
+
+
+def test_ablation_prefetch_depth(report):
+    rows = report(
+        lambda: run_ablation_prefetch_depth(num_rounds=15, num_requests=12),
+        title="Ablation: prefetch-ahead depth vs hit rate, latency, and cost",
+    )
+    by_depth = {r["prefetch_rounds_ahead"]: r for r in rows}
+    # Prefetching one round ahead is what turns the iterative access pattern
+    # into cache hits; deeper prefetching should not hurt.
+    assert by_depth[0]["hit_rate"] < 0.2
+    assert by_depth[1]["hit_rate"] > 0.8
+    assert by_depth[1]["mean_latency_seconds"] < by_depth[0]["mean_latency_seconds"]
+    assert by_depth[2]["hit_rate"] >= by_depth[1]["hit_rate"] - 0.05

@@ -1,0 +1,13 @@
+"""Figure 1 — non-training share of per-round FL latency for each application."""
+
+from repro.analysis.experiments import run_figure1_latency_share
+
+
+def test_figure1_latency_share(report):
+    rows = report(
+        lambda: run_figure1_latency_share(num_rounds=15, requests_per_workload=6),
+        title="Figure 1: non-training share of per-round FL latency (EfficientNetV2-S)",
+    )
+    assert len(rows) == 10
+    # Paper: a single non-training application can reach up to 60% of round latency.
+    assert max(r["non_training_share_pct"] for r in rows) > 30.0

@@ -1,0 +1,13 @@
+"""Figure 2 — non-training share of per-round FL cost for each application."""
+
+from repro.analysis.experiments import run_figure2_cost_share
+
+
+def test_figure2_cost_share(report):
+    rows = report(
+        lambda: run_figure2_cost_share(num_rounds=15, requests_per_workload=6),
+        title="Figure 2: non-training share of per-round FL cost (EfficientNetV2-S)",
+    )
+    assert len(rows) == 10
+    assert all(r["non_training_cost"] > 0 for r in rows)
+    assert max(r["non_training_share_pct"] for r in rows) > 35.0

@@ -1,0 +1,13 @@
+"""Figure 4 — communication vs computation latency of non-training workloads."""
+
+from repro.analysis.experiments import run_figure4_comm_vs_comp
+
+
+def test_figure4_comm_vs_comp(report):
+    result = report(
+        lambda: run_figure4_comm_vs_comp(num_rounds=15, requests_per_workload=6),
+        title="Figure 4: communication vs computation latency on the conventional stack",
+    )
+    # Paper: ~89 s average communication vs ~2.8 s computation (31x ratio).
+    assert result["average_communication_seconds"] > result["average_computation_seconds"]
+    assert result["communication_to_computation_ratio"] > 5.0

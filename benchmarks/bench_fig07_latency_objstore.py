@@ -1,0 +1,17 @@
+"""Figure 7 — FLStore vs ObjStore-Agg per-request latency (4 models x 10 workloads)."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure7_latency_vs_objstore
+
+
+def test_figure7_latency_vs_objstore(report):
+    rows = report(
+        lambda: run_figure7_latency_vs_objstore(num_rounds=15, requests_per_workload=8),
+        title="Figure 7: per-request latency, FLStore vs ObjStore-Agg",
+    )
+    assert len(rows) == 4 * 10
+    mean_reduction = float(np.mean([r["latency_reduction_pct"] for r in rows]))
+    # Paper: 50.75% average per-request latency reduction, up to 99.94%.
+    assert mean_reduction > 50.0
+    assert max(r["latency_reduction_pct"] for r in rows) > 90.0

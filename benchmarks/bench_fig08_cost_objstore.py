@@ -1,0 +1,17 @@
+"""Figure 8 — FLStore vs ObjStore-Agg per-request cost (4 models x 10 workloads)."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure8_cost_vs_objstore
+
+
+def test_figure8_cost_vs_objstore(report):
+    rows = report(
+        lambda: run_figure8_cost_vs_objstore(num_rounds=15, requests_per_workload=8),
+        title="Figure 8: per-request cost, FLStore vs ObjStore-Agg",
+    )
+    assert len(rows) == 4 * 10
+    mean_reduction = float(np.mean([r["cost_reduction_pct"] for r in rows]))
+    # Paper: 88.23% average per-request cost reduction, up to 99.78%.
+    assert mean_reduction > 80.0
+    assert max(r["cost_reduction_pct"] for r in rows) > 95.0

@@ -1,0 +1,17 @@
+"""Figure 9 — FLStore vs Cache-Agg per-request latency and cost (6 workloads)."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure9_vs_cache_agg
+
+
+def test_figure9_vs_cache_agg(report):
+    rows = report(
+        lambda: run_figure9_vs_cache_agg(num_rounds=15, requests_per_workload=8),
+        title="Figure 9: per-request latency and cost, FLStore vs Cache-Agg",
+    )
+    assert len(rows) == 6
+    # Paper: 64.66% average latency reduction and 98.83% average cost reduction.
+    update_heavy = [r for r in rows if r["workload"] in ("Cosine similarity", "Sched. (Cluster)", "Malicious Filtering", "Inference")]
+    assert float(np.mean([r["latency_reduction_pct"] for r in update_heavy])) > 40.0
+    assert float(np.mean([r["cost_reduction_pct"] for r in rows])) > 95.0

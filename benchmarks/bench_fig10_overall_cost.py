@@ -1,0 +1,14 @@
+"""Figure 10 — overall per-round FL cost with and without FLStore."""
+
+from repro.analysis.experiments import run_figure10_overall_cost
+
+
+def test_figure10_overall_cost(report):
+    rows = report(
+        lambda: run_figure10_overall_cost(num_rounds=15, requests_per_workload=6),
+        title="Figure 10: overall per-round FL cost with and without FLStore",
+    )
+    assert len(rows) == 10
+    assert all(r["cost_with_flstore"] <= r["cost_without_flstore"] for r in rows)
+    # Paper: per-workload reductions between 42% and 96% of the total round cost.
+    assert max(r["reduction_pct"] for r in rows) > 30.0

@@ -1,0 +1,21 @@
+"""Figure 11 — FLStore's tailored policies vs LRU/FIFO/Random/limited variants."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure11_policy_comparison
+
+
+def test_figure11_policy_comparison(report):
+    rows = report(
+        lambda: run_figure11_policy_comparison(num_rounds=15, requests_per_workload=8),
+        title="Figure 11: per-request latency/cost of FLStore caching-policy variants",
+    )
+    by_variant: dict[str, list[float]] = {}
+    for row in rows:
+        by_variant.setdefault(row["variant"], []).append(row["mean_latency_seconds"])
+    means = {variant: float(np.mean(values)) for variant, values in by_variant.items()}
+    # Tailored policies (and the capacity-limited variant) beat the
+    # traditional reactive policies; FLStore-Random sits in between.
+    assert means["FLStore"] < means["FLStore-LRU"]
+    assert means["FLStore"] < means["FLStore-FIFO"]
+    assert means["FLStore-limited"] < means["FLStore-FIFO"]

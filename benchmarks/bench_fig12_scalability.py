@@ -1,0 +1,15 @@
+"""Figure 12 — scalability with increasing concurrent requests (5 cached functions)."""
+
+from repro.analysis.experiments_appendix import run_figure12_scalability
+
+
+def test_figure12_scalability(report):
+    rows = report(
+        lambda: run_figure12_scalability(num_rounds=12),
+        title="Figure 12: per-request latency/cost vs concurrent requests (5 cached functions)",
+    )
+    for workload in {r["workload"] for r in rows}:
+        series = {r["parallel_requests"]: r["mean_latency_seconds"] for r in rows if r["workload"] == workload}
+        # Flat up to the number of cached parallel functions, rising beyond it.
+        assert series[1] == series[5]
+        assert series[10] > series[5]

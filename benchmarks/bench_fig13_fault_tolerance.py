@@ -1,0 +1,21 @@
+"""Figure 13 — latency/cost per request under Zipfian faults vs replica count."""
+
+import numpy as np
+
+from repro.analysis.experiments_appendix import run_figure13_fault_tolerance
+
+
+def test_figure13_fault_tolerance(report):
+    rows = report(
+        lambda: run_figure13_fault_tolerance(num_rounds=15, requests_per_workload=10),
+        title="Figure 13: per-request latency/cost under reclamation faults vs function instances",
+    )
+
+    def mean_latency(instances: int) -> float:
+        return float(
+            np.mean([r["mean_latency_seconds"] for r in rows if r["function_instances"] == instances])
+        )
+
+    # Paper: a single instance suffers the most; 3-5 instances are nearly flat.
+    assert mean_latency(1) > mean_latency(3)
+    assert abs(mean_latency(4) - mean_latency(5)) < 0.5 * mean_latency(3)

@@ -1,0 +1,16 @@
+"""Figure 14 — replication vs re-fetching under function reclamations."""
+
+from repro.analysis.experiments_appendix import run_figure14_replication_vs_refetch
+
+
+def test_figure14_replication_vs_refetch(report):
+    result = report(
+        lambda: run_figure14_replication_vs_refetch(num_rounds=15, requests_per_workload=10),
+        title="Figure 14: replication vs re-fetching (latency, cost, and keep-alive comparison)",
+    )
+    # Paper: keeping replicas is far cheaper than re-computing/re-fetching lost data.
+    assert result["replication_total_cost_dollars"] <= result["refetch_total_cost_dollars"]
+    assert result["replication_keepalive_cost_dollars"] < 0.01
+    rows = result["rows"]
+    slower = sum(1 for r in rows if r["refetch_latency_seconds"] >= r["replication_latency_seconds"])
+    assert slower >= len(rows) // 2

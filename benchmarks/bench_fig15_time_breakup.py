@@ -1,0 +1,16 @@
+"""Figure 15 — accumulated communication/computation time breakup vs ObjStore-Agg."""
+
+from repro.analysis.experiments import run_figure15_total_time_breakup
+
+
+def test_figure15_total_time_breakup(report):
+    rows = report(
+        lambda: run_figure15_total_time_breakup(num_rounds=15, requests_per_workload=8),
+        title="Figure 15: accumulated time breakup (communication vs computation)",
+    )
+    assert len(rows) == 4 * 10
+    update_heavy = [r for r in rows if r["workload"] not in ("Incentives", "Sched. (Perf.)")]
+    # Paper: the baseline spends ~99% of its time in communication and FLStore
+    # removes most of that time.
+    assert all(r["objstore_comm_fraction"] > 0.7 for r in update_heavy)
+    assert all(r["total_time_reduction_pct"] > 20.0 for r in update_heavy)

@@ -1,0 +1,15 @@
+"""Figure 16 — accumulated cost breakup vs ObjStore-Agg."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure16_total_cost_breakup
+
+
+def test_figure16_total_cost_breakup(report):
+    rows = report(
+        lambda: run_figure16_total_cost_breakup(num_rounds=15, requests_per_workload=8),
+        title="Figure 16: accumulated cost breakup, FLStore vs ObjStore-Agg",
+    )
+    assert len(rows) == 4 * 10
+    # Paper: 77.8%-94.7% average total-cost reduction depending on the model.
+    assert float(np.mean([r["cost_reduction_pct"] for r in rows])) > 70.0

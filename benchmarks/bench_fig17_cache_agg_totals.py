@@ -1,0 +1,17 @@
+"""Figure 17 — accumulated time and cost vs Cache-Agg."""
+
+import numpy as np
+
+from repro.analysis.experiments import run_figure17_vs_cache_agg_totals
+
+
+def test_figure17_vs_cache_agg_totals(report):
+    rows = report(
+        lambda: run_figure17_vs_cache_agg_totals(num_rounds=15, requests_per_workload=8),
+        title="Figure 17: accumulated time and cost, FLStore vs Cache-Agg",
+    )
+    assert len(rows) == 6
+    # Paper: 37.8%-84.5% total-time reduction and 98.1%-99.9% total-cost reduction.
+    assert float(np.mean([r["cost_reduction_pct"] for r in rows])) > 95.0
+    heavy = [r for r in rows if r["workload"] not in ("Incentives", "Sched. (Perf.)")]
+    assert all(r["time_reduction_pct"] > 0.0 for r in heavy)

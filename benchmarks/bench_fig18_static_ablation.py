@@ -1,0 +1,14 @@
+"""Figure 18 — FLStore vs FLStore-Static when the workload mix changes."""
+
+from repro.analysis.experiments import run_figure18_static_ablation
+
+
+def test_figure18_static_ablation(report):
+    result = report(
+        lambda: run_figure18_static_ablation(num_rounds=15, warmup_requests=6, measured_requests=10),
+        title="Figure 18: dynamic policy selection vs FLStore-Static (inference -> filtering switch)",
+    )
+    # Paper: FLStore cuts per-request latency by ~99% and cost by ~3x vs the
+    # static-policy variant after the workload switch.
+    assert result["latency_reduction_pct"] > 50.0
+    assert result["cost_ratio"] > 1.5

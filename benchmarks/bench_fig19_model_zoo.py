@@ -1,0 +1,15 @@
+"""Figure 19 — memory footprint of the 23-model cross-device FL zoo."""
+
+from repro.analysis.experiments_appendix import run_figure19_model_footprints
+
+
+def test_figure19_model_footprints(report):
+    result = report(
+        run_figure19_model_footprints,
+        title="Figure 19: serialized memory footprint of commonly used FL models",
+        columns=["model", "family", "size_mb", "params_millions"],
+    )
+    assert result["num_models"] == 23
+    # Paper: ~161 MB average footprint; every model fits in a 10 GB function.
+    assert 120 <= result["average_size_mb"] <= 200
+    assert all(r["fits_in_10gb_function"] for r in result["rows"])

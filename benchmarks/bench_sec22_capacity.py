@@ -1,0 +1,17 @@
+"""Sections 2.2 & 4.4 — FL metadata volume and tailored-policy footprint."""
+
+from repro.analysis.experiments_appendix import run_section22_capacity_analysis
+
+
+def test_section22_capacity_analysis(report):
+    result = report(
+        run_section22_capacity_analysis,
+        title="Section 2.2/4.4: cache-everything vs tailored-policy capacity and cost",
+    )
+    # Paper: ~79 TB across ~10098 functions if everything is cached vs ~1.2 GB
+    # on two functions with tailored policies.
+    assert 60 <= result["full_caching"]["total_tb"] <= 100
+    assert result["full_caching"]["functions_needed"] > 5000
+    assert result["tailored_policies"]["total_gb"] < 5
+    assert result["tailored_policies"]["functions_needed"] <= 2
+    assert result["footprint_reduction_pct"] > 99.0

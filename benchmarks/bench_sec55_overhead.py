@@ -1,0 +1,16 @@
+"""Section 5.5 — memory/time overhead of the Cache Engine and Request Tracker."""
+
+from repro.analysis.experiments_appendix import run_section55_component_overhead
+
+
+def test_section55_component_overhead(report):
+    rows = report(
+        lambda: run_section55_component_overhead(request_counts=(1000, 100000)),
+        title="Section 5.5: component overhead of the Request Tracker and Cache Engine",
+    )
+    small = next(r for r in rows if r["concurrent_requests"] == 1000)
+    large = next(r for r in rows if r["concurrent_requests"] == 100000)
+    # Paper: <1 MB at 1000 requests, tens of MB at 100k, lookups under 1 ms.
+    assert small["request_tracker_mb"] < 2.0 and small["cache_engine_mb"] < 2.0
+    assert large["request_tracker_mb"] < 100.0 and large["cache_engine_mb"] < 100.0
+    assert all(r["lookup_under_one_ms"] for r in rows)

@@ -1,0 +1,15 @@
+"""Table 2 — cache-policy hit rates: FLStore P2/P3/P4 vs FIFO/LFU/LRU."""
+
+from repro.analysis.experiments import run_table2_hit_rates
+
+
+def test_table2_hit_rates(report):
+    rows = report(
+        lambda: run_table2_hit_rates(num_rounds=30),
+        title="Table 2: cache policy performance across workload groups",
+    )
+    flstore_rows = [r for r in rows if r["policy"].startswith("FLStore")]
+    traditional_rows = [r for r in rows if not r["policy"].startswith("FLStore")]
+    # Paper: 0.98-1.00 hit rate for FLStore's tailored policies, 0 for the others.
+    assert all(r["hit_rate"] >= 0.85 for r in flstore_rows)
+    assert all(r["hit_rate"] <= 0.05 for r in traditional_rows)

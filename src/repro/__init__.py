@@ -1,0 +1,55 @@
+"""FLStore reproduction: efficient federated-learning storage for non-training workloads.
+
+This package reproduces the system described in *FLStore: Efficient Federated
+Learning Storage for non-training workloads* (MLSys 2025).  It contains:
+
+* cloud substrates (object store, in-memory cache service, dedicated
+  aggregator instance) with analytic latency and cost models,
+* a serverless-function platform emulator,
+* a federated-learning metadata substrate (model zoo, clients, rounds,
+  simulated FL jobs),
+* the ten non-training workloads evaluated in the paper,
+* the FLStore core (cache engine, request tracker, serverless cache,
+  tailored caching policies P1-P4, replication and fault tolerance),
+* the two paper baselines (ObjStore-Agg and Cache-Agg), and
+* an analysis/experiment harness that regenerates every table and figure of
+  the paper's evaluation.
+
+Quickstart
+----------
+>>> from repro import build_default_flstore, FLJobSimulator, SimulationConfig
+>>> config = SimulationConfig.small()
+>>> job = FLJobSimulator(config)
+>>> rounds = job.run_rounds(5)
+>>> flstore = build_default_flstore(config)
+>>> for record in rounds:
+...     flstore.ingest_round(record)
+"""
+
+from repro.config import (
+    FLJobConfig,
+    PricingConfig,
+    ServerlessConfig,
+    SimulationConfig,
+)
+from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.fl.trainer import FLJobSimulator
+from repro.workloads.base import WorkloadRequest
+from repro.workloads.registry import get_workload, list_workloads
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FLJobConfig",
+    "FLJobSimulator",
+    "FLStore",
+    "PricingConfig",
+    "ServeResult",
+    "ServerlessConfig",
+    "SimulationConfig",
+    "WorkloadRequest",
+    "build_default_flstore",
+    "get_workload",
+    "list_workloads",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.analysis.comparison import percent_reduction, speedup
+from repro.analysis.runner import ExperimentSetup, prepare_setup, run_trace
+from repro.analysis.tables import format_table
+
+__all__ = [
+    "ExperimentSetup",
+    "format_table",
+    "percent_reduction",
+    "prepare_setup",
+    "run_trace",
+    "speedup",
+]

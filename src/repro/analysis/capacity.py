@@ -1,0 +1,108 @@
+"""Analytic capacity/cost model for FL metadata volumes (Section 2.2 and 4.4).
+
+The paper motivates tailored caching with two back-of-the-envelope numbers:
+
+* the metadata of 100 FL training sessions can exceed 1500 TB, and a single
+  1000-client x 1000-round EfficientNet job needs ~79 TB across ~10098
+  Lambda functions ($10.2/hour) if *everything* is cached, whereas
+* FLStore's tailored policies keep only ~1.2 GB on two functions
+  (~$0.001/hour).
+
+This module reproduces those estimates from the model zoo and the pricing
+catalogue so the numbers can be regenerated and swept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GB, TB
+from repro.config import PricingConfig
+from repro.fl.models import get_model_spec
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """Outcome of one capacity/cost estimate."""
+
+    description: str
+    total_bytes: float
+    functions_needed: int
+    keepalive_cost_per_hour: float
+    keepalive_cost_per_month: float
+
+    @property
+    def total_tb(self) -> float:
+        """Total volume in TiB."""
+        return self.total_bytes / TB
+
+    @property
+    def total_gb(self) -> float:
+        """Total volume in GiB."""
+        return self.total_bytes / GB
+
+
+def full_job_metadata_bytes(
+    model_name: str = "efficientnet_v2_small",
+    clients_per_round: int = 1000,
+    total_rounds: int = 1000,
+    metadata_bytes_per_client: int = 4096,
+) -> float:
+    """Bytes of metadata produced by one FL job if every update is retained."""
+    spec = get_model_spec(model_name)
+    per_round = clients_per_round * (spec.size_bytes + metadata_bytes_per_client) + spec.size_bytes
+    return float(per_round * total_rounds)
+
+
+def estimate_full_caching(
+    model_name: str = "efficientnet_v2_small",
+    clients_per_round: int = 1000,
+    total_rounds: int = 1000,
+    pricing: PricingConfig | None = None,
+    function_memory_gb: float = 8.0,
+) -> CapacityEstimate:
+    """Cost of caching *all* metadata of a job in serverless memory."""
+    pricing = pricing or PricingConfig()
+    total = full_job_metadata_bytes(model_name, clients_per_round, total_rounds)
+    functions = int(total // (function_memory_gb * GB)) + 1
+    per_month = functions * pricing.lambda_keepalive_cost_per_instance_month
+    return CapacityEstimate(
+        description=f"cache-everything ({clients_per_round} clients x {total_rounds} rounds)",
+        total_bytes=total,
+        functions_needed=functions,
+        keepalive_cost_per_hour=per_month / (30 * 24),
+        keepalive_cost_per_month=per_month,
+    )
+
+
+def estimate_tailored_caching(
+    model_name: str = "efficientnet_v2_small",
+    clients_per_round: int = 10,
+    rounds_kept: int = 2,
+    metadata_recent_rounds: int = 10,
+    metadata_bytes_per_client: int = 4096,
+    pricing: PricingConfig | None = None,
+    function_memory_gb: float = 8.0,
+) -> CapacityEstimate:
+    """Footprint of FLStore's tailored policies (latest round + prefetched next round)."""
+    pricing = pricing or PricingConfig()
+    spec = get_model_spec(model_name)
+    update_bytes = rounds_kept * (clients_per_round * spec.size_bytes + spec.size_bytes)
+    metadata_bytes = metadata_recent_rounds * clients_per_round * metadata_bytes_per_client
+    total = float(update_bytes + metadata_bytes)
+    functions = int(total // (function_memory_gb * GB)) + 1
+    per_month = functions * pricing.lambda_keepalive_cost_per_instance_month
+    return CapacityEstimate(
+        description=f"tailored policies ({clients_per_round} clients, {rounds_kept} rounds kept)",
+        total_bytes=total,
+        functions_needed=functions,
+        keepalive_cost_per_hour=per_month / (30 * 24),
+        keepalive_cost_per_month=per_month,
+    )
+
+
+def dedicated_cache_cost_per_hour(total_bytes: float, pricing: PricingConfig | None = None) -> float:
+    """Hourly cost of holding ``total_bytes`` in a provisioned cloud cache instead."""
+    pricing = pricing or PricingConfig()
+    nodes = int(total_bytes // (pricing.cache_node_memory_gb * GB)) + 1
+    return nodes * pricing.cache_node_cost_per_hour

@@ -1,0 +1,25 @@
+"""Small helpers for comparing baseline and FLStore metrics."""
+
+from __future__ import annotations
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """Percentage reduction of ``improved`` relative to ``baseline``.
+
+    Returns 0.0 when the baseline is zero (no meaningful reduction exists).
+    """
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Ratio ``baseline / improved`` (``inf`` when ``improved`` is zero)."""
+    if improved == 0:
+        return float("inf")
+    return baseline / improved
+
+
+def absolute_reduction(baseline: float, improved: float) -> float:
+    """Absolute difference ``baseline - improved``."""
+    return baseline - improved

@@ -1,0 +1,64 @@
+"""Export experiment results to JSON and CSV files.
+
+The experiment functions return plain rows (lists of dictionaries); these
+helpers persist them so benchmark runs can be archived and compared across
+machines or parameter sweeps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+
+def _normalize(value: Any) -> Any:
+    """Make a value JSON-serialisable (tuples -> lists, numpy scalars -> python)."""
+    if hasattr(value, "item") and callable(value.item):  # numpy scalar
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    return value
+
+
+def export_json(result: Any, path: str | Path) -> Path:
+    """Write ``result`` (rows or a result mapping) to ``path`` as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(_normalize(result), handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def export_csv(rows: Sequence[Mapping[str, Any]], path: str | Path) -> Path:
+    """Write a list of row dictionaries to ``path`` as CSV.
+
+    Columns are the union of all row keys, in first-seen order.  Nested
+    values (lists/dicts) are JSON-encoded in place.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        for row in rows:
+            flat = {
+                key: json.dumps(_normalize(value)) if isinstance(value, (list, dict, tuple)) else value
+                for key, value in row.items()
+            }
+            writer.writerow(flat)
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a result previously written by :func:`export_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,120 @@
+"""Shared experiment plumbing: building systems, ingesting rounds, running traces.
+
+Every figure/table experiment follows the same skeleton:
+
+1. simulate an FL job to obtain the metadata stream (:class:`FLJobSimulator`),
+2. build the systems under comparison (FLStore variants and/or the two
+   baselines), ingest the same rounds into each,
+3. generate a non-training request trace from the job's round catalog,
+4. serve the trace on every system and collect :class:`RequestRecord`s.
+
+:func:`prepare_setup` performs steps 1-2 and :func:`run_trace` performs step 4
+so the per-figure functions in :mod:`repro.analysis.experiments` stay small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.baselines.cache_agg import CacheAggregator
+from repro.baselines.objstore_agg import ObjStoreAggregator
+from repro.config import SimulationConfig
+from repro.core.flstore import FLStore, build_default_flstore
+from repro.fl.rounds import RoundRecord
+from repro.fl.trainer import FLJobSimulator
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.simulation.metrics import MetricsCollector, RequestRecord
+from repro.traces.generator import RequestTraceGenerator
+from repro.workloads.base import WorkloadRequest
+
+#: Systems that :func:`prepare_setup` knows how to build.
+KNOWN_SYSTEMS: tuple[str, ...] = ("flstore", "objstore-agg", "cache-agg")
+
+
+@dataclass
+class ExperimentSetup:
+    """Everything a figure experiment needs: job, rounds, systems, trace generator."""
+
+    config: SimulationConfig
+    simulator: FLJobSimulator
+    rounds: list[RoundRecord]
+    systems: dict[str, object] = field(default_factory=dict)
+    generator: RequestTraceGenerator | None = None
+
+    @property
+    def flstore(self) -> FLStore:
+        """The FLStore instance (raises if not built)."""
+        return self.systems["flstore"]
+
+    @property
+    def objstore_agg(self) -> ObjStoreAggregator:
+        """The ObjStore-Agg baseline (raises if not built)."""
+        return self.systems["objstore-agg"]
+
+    @property
+    def cache_agg(self) -> CacheAggregator:
+        """The Cache-Agg baseline (raises if not built)."""
+        return self.systems["cache-agg"]
+
+
+def prepare_setup(
+    config: SimulationConfig | None = None,
+    num_rounds: int = 30,
+    systems: Sequence[str] = KNOWN_SYSTEMS,
+    policy_mode: str = "tailored",
+    replication_factor: int | None = None,
+    fault_injector: ZipfianFaultInjector | None = None,
+) -> ExperimentSetup:
+    """Simulate an FL job, build the requested systems, and ingest the rounds."""
+    config = config or SimulationConfig()
+    simulator = FLJobSimulator(config)
+    rounds = simulator.run_rounds(num_rounds)
+
+    built: dict[str, object] = {}
+    for name in systems:
+        if name == "flstore":
+            built[name] = build_default_flstore(
+                config,
+                policy_mode=policy_mode,
+                replication_factor=replication_factor,
+                fault_injector=fault_injector,
+            )
+        elif name == "objstore-agg":
+            built[name] = ObjStoreAggregator(config)
+        elif name == "cache-agg":
+            built[name] = CacheAggregator(config)
+        else:
+            raise ValueError(f"unknown system {name!r}; expected one of {KNOWN_SYSTEMS}")
+
+    for record in rounds:
+        for system in built.values():
+            system.ingest_round(record)
+
+    catalog = next(iter(built.values())).catalog if built else None
+    generator = RequestTraceGenerator(catalog, seed=config.seed) if catalog is not None else None
+    return ExperimentSetup(
+        config=config, simulator=simulator, rounds=rounds, systems=built, generator=generator
+    )
+
+
+def run_trace(
+    system: object,
+    requests: Iterable[WorkloadRequest],
+    system_name: str | None = None,
+    model_name: str | None = None,
+    collector: MetricsCollector | None = None,
+) -> list[RequestRecord]:
+    """Serve ``requests`` on ``system`` and return one record per request."""
+    name = system_name or getattr(system, "system_name", type(system).__name__)
+    model = model_name or getattr(getattr(system, "model_spec", None), "name", "unknown")
+    records: list[RequestRecord] = []
+    for request in requests:
+        result = system.serve(request)
+        record = result.to_record(
+            system=name, model_name=model, round_id=request.round_id, client_id=request.client_id
+        )
+        records.append(record)
+        if collector is not None:
+            collector.record(record)
+    return records

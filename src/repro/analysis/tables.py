@@ -1,0 +1,56 @@
+"""Plain-text table formatting for experiment outputs.
+
+Every experiment returns rows as dictionaries; :func:`format_table` renders
+them as an aligned text table so benchmark runs and examples can print the
+same rows/series the paper reports without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 0.001 or abs(value) >= 100000):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None, title: str | None = None) -> str:
+    """Render ``rows`` as an aligned text table.
+
+    Parameters
+    ----------
+    rows:
+        A sequence of dictionaries sharing (a superset of) the same keys.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional title printed above the table.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping(mapping: Mapping[str, Any], title: str | None = None) -> str:
+    """Render a flat ``name -> value`` mapping as two-column rows."""
+    rows = [{"name": key, "value": value} for key, value in mapping.items()]
+    return format_table(rows, columns=["name", "value"], title=title)

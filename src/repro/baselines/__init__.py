@@ -1,0 +1,7 @@
+"""The paper's baseline architectures: ObjStore-Agg and Cache-Agg (Figure 3)."""
+
+from repro.baselines.base import AggregatorBaseline
+from repro.baselines.objstore_agg import ObjStoreAggregator
+from repro.baselines.cache_agg import CacheAggregator
+
+__all__ = ["AggregatorBaseline", "CacheAggregator", "ObjStoreAggregator"]

@@ -1,0 +1,66 @@
+"""Cache-Agg: a SageMaker-style aggregator backed by an ElastiCache-style cloud cache.
+
+This is the second baseline of Section 5.1: the FL metadata lives in a
+provisioned in-memory cache cluster.  Fetches are faster than from the
+object store, but the data still has to cross the network into the
+aggregator for every request, and the provisioned cache nodes are billed per
+hour whether or not requests arrive — which is why the paper finds Cache-Agg
+to be the most expensive configuration (Figure 9, Figure 17).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.baselines.base import AggregatorBaseline
+from repro.cloud.memory_cache import MemoryCacheService
+from repro.common.errors import DataNotFoundError
+from repro.common.units import GB
+from repro.config import SimulationConfig
+from repro.simulation.clock import SimClock
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+
+
+class CacheAggregator(AggregatorBaseline):
+    """Dedicated aggregator + provisioned in-memory cloud cache (the paper's Cache-Agg)."""
+
+    system_name = "cache-agg"
+
+    def __init__(self, config: SimulationConfig | None = None, clock: SimClock | None = None) -> None:
+        super().__init__(config=config, clock=clock)
+        self.memory_cache = MemoryCacheService(
+            self.topology.cache, self.cost_model, self.config.pricing, name="cache-agg-elasticache"
+        )
+
+    def _store_object(self, key: Any, value: Any, size_bytes: int) -> CostBreakdown:
+        result = self.memory_cache.put(key, value, size_bytes=size_bytes)
+        return result.cost
+
+    def _fetch_object(self, key: Any) -> tuple[LatencyBreakdown, CostBreakdown, Any]:
+        try:
+            result = self.memory_cache.get(key)
+        except DataNotFoundError:
+            return LatencyBreakdown.zero(), CostBreakdown.zero(), None
+        return result.latency, result.cost, result.value
+
+    def _store_result(self, key: Any, value: Any, size_bytes: int) -> tuple[LatencyBreakdown, CostBreakdown]:
+        result = self.memory_cache.put(key, value, size_bytes=size_bytes)
+        return result.latency, result.cost
+
+    def provisioned_nodes_for_job(self) -> int:
+        """Cache nodes needed to hold the configured FL job's metadata working set."""
+        node_bytes = self.config.pricing.cache_node_memory_gb * GB
+        return max(1, math.ceil(self.expected_job_bytes() / node_bytes))
+
+    def provisioned_cost(self, duration_hours: float) -> CostBreakdown:
+        """Always-on aggregator instance plus the provisioned cache cluster.
+
+        The cluster is sized for the whole FL job's metadata (the paper's
+        Cache-Agg keeps all metadata in ElastiCache), not just for the rounds
+        ingested so far in a given experiment.
+        """
+        instance = self.instance.idle_cost(duration_hours)
+        nodes = max(self.provisioned_nodes_for_job(), self.memory_cache.provisioned_nodes)
+        cache = self.cost_model.cache_node_cost(nodes, duration_hours)
+        return instance + cache

@@ -1,0 +1,50 @@
+"""ObjStore-Agg: a SageMaker-style aggregator backed by an S3-style object store.
+
+This is the first baseline of Section 5.1: the dedicated aggregator instance
+fetches every object a non-training request needs from the cloud object
+store, processes it, and writes results back.  Because object-store bandwidth
+is the slowest path in the system, this baseline is heavily
+communication-bound (≈99 % of request latency in the paper's breakup).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.baselines.base import AggregatorBaseline
+from repro.cloud.object_store import ObjectStore
+from repro.common.errors import DataNotFoundError
+from repro.config import SimulationConfig
+from repro.simulation.clock import SimClock
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+
+
+class ObjStoreAggregator(AggregatorBaseline):
+    """Dedicated aggregator + cloud object store (the paper's ObjStore-Agg)."""
+
+    system_name = "objstore-agg"
+
+    def __init__(self, config: SimulationConfig | None = None, clock: SimClock | None = None) -> None:
+        super().__init__(config=config, clock=clock)
+        self.object_store = ObjectStore(self.topology.objstore, self.cost_model, name="objstore-agg-s3")
+
+    def _store_object(self, key: Any, value: Any, size_bytes: int) -> CostBreakdown:
+        result = self.object_store.put(key, value, size_bytes=size_bytes)
+        return result.cost
+
+    def _fetch_object(self, key: Any) -> tuple[LatencyBreakdown, CostBreakdown, Any]:
+        try:
+            result = self.object_store.get(key)
+        except DataNotFoundError:
+            return LatencyBreakdown.zero(), CostBreakdown.zero(), None
+        return result.latency, result.cost, result.value
+
+    def _store_result(self, key: Any, value: Any, size_bytes: int) -> tuple[LatencyBreakdown, CostBreakdown]:
+        result = self.object_store.put(key, value, size_bytes=size_bytes)
+        return result.latency, result.cost
+
+    def provisioned_cost(self, duration_hours: float) -> CostBreakdown:
+        """Always-on aggregator instance plus object-store storage of the job's metadata."""
+        instance = self.instance.idle_cost(duration_hours)
+        storage = self.cost_model.objstore_storage_cost(self.expected_job_bytes(), duration_hours)
+        return instance + storage

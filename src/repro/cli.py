@@ -1,0 +1,119 @@
+"""Command-line interface for the FLStore reproduction.
+
+Usage examples::
+
+    python -m repro.cli list                         # list available experiments
+    python -m repro.cli run fig7 --rounds 15         # regenerate Figure 7 and print it
+    python -m repro.cli run table2 --out table2.json # save the rows as JSON
+    python -m repro.cli workloads                     # show the workload taxonomy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+from repro.analysis import experiments as E
+from repro.analysis import experiments_appendix as A
+from repro.analysis.export import export_csv, export_json
+from repro.analysis.tables import format_table
+from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
+
+#: Experiment name -> (callable, description, accepts num_rounds kwarg).
+EXPERIMENTS: dict[str, tuple[Callable[..., Any], str]] = {
+    "fig1": (E.run_figure1_latency_share, "Non-training share of per-round FL latency"),
+    "fig2": (E.run_figure2_cost_share, "Non-training share of per-round FL cost"),
+    "fig4": (E.run_figure4_comm_vs_comp, "Communication vs computation latency"),
+    "fig7": (E.run_figure7_latency_vs_objstore, "Per-request latency vs ObjStore-Agg"),
+    "fig8": (E.run_figure8_cost_vs_objstore, "Per-request cost vs ObjStore-Agg"),
+    "fig9": (E.run_figure9_vs_cache_agg, "Per-request latency/cost vs Cache-Agg"),
+    "fig10": (E.run_figure10_overall_cost, "Overall per-round FL cost with/without FLStore"),
+    "fig11": (E.run_figure11_policy_comparison, "Caching-policy variant comparison"),
+    "table2": (E.run_table2_hit_rates, "Cache-policy hit rates"),
+    "fig12": (A.run_figure12_scalability, "Scalability with concurrent requests"),
+    "fig13": (A.run_figure13_fault_tolerance, "Fault tolerance vs function instances"),
+    "fig14": (A.run_figure14_replication_vs_refetch, "Replication vs re-fetching"),
+    "fig15": (E.run_figure15_total_time_breakup, "Total time breakup vs ObjStore-Agg"),
+    "fig16": (E.run_figure16_total_cost_breakup, "Total cost breakup vs ObjStore-Agg"),
+    "fig17": (E.run_figure17_vs_cache_agg_totals, "Totals vs Cache-Agg"),
+    "fig18": (E.run_figure18_static_ablation, "FLStore vs FLStore-Static ablation"),
+    "fig19": (A.run_figure19_model_footprints, "Model memory footprints"),
+    "sec55": (A.run_section55_component_overhead, "Component overhead"),
+    "sec22": (A.run_section22_capacity_analysis, "Capacity analysis"),
+    "prefetch": (A.run_ablation_prefetch_depth, "Prefetch-depth ablation (extension)"),
+}
+
+#: Experiments whose runner accepts a ``num_rounds`` keyword.
+_ACCEPTS_ROUNDS = {
+    "fig1", "fig2", "fig4", "fig7", "fig8", "fig9", "fig10", "fig11", "table2",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "prefetch",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+    sub.add_parser("workloads", help="show the non-training workload taxonomy (Table 1)")
+
+    run = sub.add_parser("run", help="run one experiment and print its rows")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS), help="experiment identifier")
+    run.add_argument("--rounds", type=int, default=None, help="number of ingested training rounds")
+    run.add_argument("--seed", type=int, default=None, help="simulation seed")
+    run.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
+    return parser
+
+
+def _run_experiment(name: str, rounds: int | None, seed: int | None) -> Any:
+    runner, _ = EXPERIMENTS[name]
+    kwargs: dict[str, Any] = {}
+    if rounds is not None and name in _ACCEPTS_ROUNDS:
+        kwargs["num_rounds"] = rounds
+    if seed is not None and name in _ACCEPTS_ROUNDS and name not in {"fig19", "sec55", "sec22"}:
+        kwargs["seed"] = seed
+    return runner(**kwargs)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        rows = [{"experiment": name, "description": desc} for name, (_, desc) in sorted(EXPERIMENTS.items())]
+        print(format_table(rows, title="Available experiments"))
+        return 0
+
+    if args.command == "workloads":
+        rows = [
+            {"workload": name, "figure_label": WORKLOAD_DISPLAY_NAMES[name], "policy": policy}
+            for name, policy in sorted(TAXONOMY.items())
+        ]
+        print(format_table(rows, title="Non-training workload taxonomy (Table 1)"))
+        return 0
+
+    result = _run_experiment(args.experiment, args.rounds, args.seed)
+    rows = result["rows"] if isinstance(result, dict) and "rows" in result else result
+    title = EXPERIMENTS[args.experiment][1]
+    if isinstance(rows, list) and rows and isinstance(rows[0], dict):
+        print(format_table(rows, title=title))
+    else:
+        print(title)
+        print(rows)
+    if isinstance(result, dict):
+        extras = {k: v for k, v in result.items() if k != "rows" and not isinstance(v, (list, dict))}
+        if extras:
+            print("summary:", extras)
+
+    if args.out:
+        if args.out.endswith(".csv") and isinstance(rows, list):
+            path = export_csv(rows, args.out)
+        else:
+            path = export_json(result, args.out)
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in examples
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Cloud service substrates: object store, in-memory cache service, dedicated instance."""
+
+from repro.cloud.object_store import ObjectStore
+from repro.cloud.memory_cache import MemoryCacheService
+from repro.cloud.instance import DedicatedInstance
+from repro.cloud.payload import payload_size_bytes
+
+__all__ = [
+    "DedicatedInstance",
+    "MemoryCacheService",
+    "ObjectStore",
+    "payload_size_bytes",
+]

@@ -1,0 +1,120 @@
+"""An ElastiCache-like provisioned in-memory cache service.
+
+This is the data plane of the paper's *Cache-Agg* baseline: a Redis/Memcached
+cluster that is faster than the object store but (a) still sits across the
+network from the aggregator's compute plane and (b) charges per provisioned
+node-hour whether or not requests arrive.  Both properties drive the paper's
+Figure 9 / Figure 17 results.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator
+
+from repro.cloud.payload import payload_size_bytes
+from repro.common.errors import DataNotFoundError
+from repro.common.units import GB
+from repro.config import PricingConfig
+from repro.network.costs import TransferCostModel
+from repro.network.model import NetworkLink
+from repro.simulation.records import CostBreakdown, LatencyBreakdown, OperationResult
+
+
+@dataclass
+class _CachedObject:
+    value: Any
+    size_bytes: int
+
+
+@dataclass
+class MemoryCacheStats:
+    """Cumulative operation counters for the cache service."""
+
+    puts: int = 0
+    gets: int = 0
+    missed_gets: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+
+class MemoryCacheService:
+    """Provisioned in-memory key/value cache (AWS ElastiCache equivalent).
+
+    The node count is sized automatically from the stored volume: enough
+    nodes are provisioned to hold the working set, and the hourly node cost
+    is reported through :meth:`provisioned_cost`.
+    """
+
+    def __init__(
+        self,
+        link: NetworkLink,
+        cost_model: TransferCostModel,
+        pricing: PricingConfig,
+        name: str = "memory-cache",
+        min_nodes: int = 1,
+    ) -> None:
+        self.name = name
+        self._link = link
+        self._costs = cost_model
+        self._pricing = pricing
+        self._min_nodes = max(1, int(min_nodes))
+        self._objects: dict[Hashable, _CachedObject] = {}
+        self.stats = MemoryCacheStats()
+
+    # ------------------------------------------------------------------ API
+
+    def put(self, key: Hashable, value: Any, size_bytes: int | None = None) -> OperationResult:
+        """Store ``value`` under ``key``; returns upload latency and transfer cost."""
+        size = int(size_bytes) if size_bytes is not None else payload_size_bytes(value)
+        self._objects[key] = _CachedObject(value=value, size_bytes=size)
+        self.stats.puts += 1
+        self.stats.bytes_written += size
+        latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
+        cost = self._costs.cache_transfer_cost(size)
+        return OperationResult(value=None, latency=latency, cost=cost)
+
+    def get(self, key: Hashable) -> OperationResult:
+        """Fetch ``key``; raises :class:`DataNotFoundError` if absent."""
+        record = self._objects.get(key)
+        if record is None:
+            self.stats.missed_gets += 1
+            raise DataNotFoundError(key, self.name)
+        self.stats.gets += 1
+        self.stats.bytes_read += record.size_bytes
+        latency = LatencyBreakdown.communication(self._link.transfer_seconds(record.size_bytes))
+        cost = self._costs.cache_transfer_cost(record.size_bytes)
+        return OperationResult(value=record.value, latency=latency, cost=cost)
+
+    def delete(self, key: Hashable) -> OperationResult:
+        """Remove ``key`` if present (idempotent)."""
+        self._objects.pop(key, None)
+        return OperationResult(value=None)
+
+    def contains(self, key: Hashable) -> bool:
+        """Whether ``key`` is currently cached."""
+        return key in self._objects
+
+    def keys(self) -> Iterator[Hashable]:
+        """Iterate over every cached key."""
+        return iter(list(self._objects.keys()))
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    @property
+    def total_stored_bytes(self) -> int:
+        """Sum of logical sizes of every cached object."""
+        return sum(obj.size_bytes for obj in self._objects.values())
+
+    @property
+    def provisioned_nodes(self) -> int:
+        """Number of cache nodes needed to hold the current working set."""
+        node_capacity = self._pricing.cache_node_memory_gb * GB
+        needed = math.ceil(self.total_stored_bytes / node_capacity) if node_capacity else 1
+        return max(self._min_nodes, needed)
+
+    def provisioned_cost(self, duration_hours: float) -> CostBreakdown:
+        """Node-hour cost of keeping the cluster provisioned for ``duration_hours``."""
+        return self._costs.cache_node_cost(self.provisioned_nodes, duration_hours)

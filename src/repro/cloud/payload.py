@@ -1,0 +1,36 @@
+"""Helpers for determining the logical size of stored payloads.
+
+FL metadata objects (model updates, aggregated models, hyperparameter
+records) declare their serialized size through a ``size_bytes`` attribute;
+raw byte strings use their length; anything else falls back to a conservative
+estimate based on NumPy array buffers.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any
+
+import numpy as np
+
+
+def payload_size_bytes(value: Any) -> int:
+    """Return the logical serialized size of ``value`` in bytes.
+
+    The lookup order is:
+
+    1. a ``size_bytes`` attribute or key (FL metadata objects),
+    2. ``len(value)`` for ``bytes``/``bytearray``,
+    3. ``value.nbytes`` for NumPy arrays,
+    4. ``sys.getsizeof`` as a final fallback.
+    """
+    size = getattr(value, "size_bytes", None)
+    if size is not None:
+        return int(size)
+    if isinstance(value, dict) and "size_bytes" in value:
+        return int(value["size_bytes"])
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        return len(value)
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    return int(sys.getsizeof(value))

@@ -1,0 +1,45 @@
+"""Default cloud pricing catalogue and its sources.
+
+The numeric values live in :class:`repro.config.PricingConfig` so they can be
+swept in sensitivity analyses; this module documents their provenance and
+exposes the default instance used throughout the package.
+
+Sources (AWS us-east-1 public list prices, 2024, as referenced by the paper):
+
+* **S3** — $0.005 per 1,000 PUT, $0.0004 per 1,000 GET, $0.023/GB-month
+  storage, $0.09/GB data transfer out to another service over the public
+  endpoint.
+* **ElastiCache** — cache.r6g.xlarge at $0.326/hour, 26.32 GiB per node.
+* **SageMaker** — ml.m5.4xlarge at $0.922/hour (the aggregator instance used
+  in Section 5.1).
+* **Lambda** — $0.0000166667 per GB-second, $0.20 per million requests,
+  $0.0087 per instance-month of keep-alive pings (from InfiniStore, cited in
+  Section 4.5 of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.config import PricingConfig
+
+#: Default pricing used by every experiment unless a sweep overrides it.
+DEFAULT_PRICING = PricingConfig()
+
+
+def pricing_summary(pricing: PricingConfig | None = None) -> dict[str, float]:
+    """Return the pricing catalogue as a flat ``name -> dollars`` mapping."""
+    p = pricing or DEFAULT_PRICING
+    return {
+        "objstore_put_request": p.objstore_put_request_cost,
+        "objstore_get_request": p.objstore_get_request_cost,
+        "objstore_storage_per_gb_month": p.objstore_storage_cost_per_gb_month,
+        "objstore_transfer_per_gb": p.objstore_transfer_cost_per_gb,
+        "cache_node_per_hour": p.cache_node_cost_per_hour,
+        "cache_transfer_per_gb": p.cache_transfer_cost_per_gb,
+        "aggregator_per_hour": p.aggregator_cost_per_hour,
+        "lambda_per_gb_second": p.lambda_cost_per_gb_second,
+        "lambda_per_million_requests": p.lambda_cost_per_million_requests,
+        "lambda_keepalive_per_instance_month": p.lambda_keepalive_cost_per_instance_month,
+    }
+
+
+__all__ = ["DEFAULT_PRICING", "pricing_summary"]

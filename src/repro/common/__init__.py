@@ -1,0 +1,50 @@
+"""Shared low-level utilities: units, deterministic RNG, errors, identifiers."""
+
+from repro.common.errors import (
+    CacheMissError,
+    CapacityError,
+    ConfigurationError,
+    DataNotFoundError,
+    FLStoreError,
+    FunctionReclaimedError,
+    RequestRoutingError,
+)
+from repro.common.ids import IdGenerator
+from repro.common.rng import derive_rng, seeded_rng
+from repro.common.units import (
+    GB,
+    HOURS,
+    KB,
+    MB,
+    MINUTES,
+    TB,
+    bytes_to_gb,
+    bytes_to_mb,
+    gb_to_bytes,
+    mb_to_bytes,
+    seconds_to_hours,
+)
+
+__all__ = [
+    "CacheMissError",
+    "CapacityError",
+    "ConfigurationError",
+    "DataNotFoundError",
+    "FLStoreError",
+    "FunctionReclaimedError",
+    "IdGenerator",
+    "RequestRoutingError",
+    "derive_rng",
+    "seeded_rng",
+    "GB",
+    "HOURS",
+    "KB",
+    "MB",
+    "MINUTES",
+    "TB",
+    "bytes_to_gb",
+    "bytes_to_mb",
+    "gb_to_bytes",
+    "mb_to_bytes",
+    "seconds_to_hours",
+]

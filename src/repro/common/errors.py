@@ -1,0 +1,44 @@
+"""Exception hierarchy used across the FLStore reproduction."""
+
+from __future__ import annotations
+
+
+class FLStoreError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(FLStoreError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class DataNotFoundError(FLStoreError):
+    """A requested object does not exist in the queried store."""
+
+    def __init__(self, key: object, store: str = "store") -> None:
+        super().__init__(f"object {key!r} not found in {store}")
+        self.key = key
+        self.store = store
+
+
+class CacheMissError(FLStoreError):
+    """A lookup hit neither the serverless cache nor a configured fallback."""
+
+
+class CapacityError(FLStoreError):
+    """An object does not fit in the remaining capacity of a function or cache."""
+
+
+class FunctionReclaimedError(FLStoreError):
+    """A serverless function was reclaimed by the provider and its memory lost."""
+
+    def __init__(self, function_id: str) -> None:
+        super().__init__(f"serverless function {function_id} was reclaimed")
+        self.function_id = function_id
+
+
+class RequestRoutingError(FLStoreError):
+    """The request tracker could not route a request to any live function."""
+
+
+class WorkloadError(FLStoreError):
+    """A non-training workload received inconsistent or insufficient data."""

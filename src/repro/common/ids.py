@@ -1,0 +1,39 @@
+"""Deterministic identifier generation for functions, requests, and objects."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IdGenerator:
+    """Generates sequential, prefixed string identifiers.
+
+    The generator is deterministic so simulation runs with the same inputs
+    produce identical identifiers, which keeps traces and test expectations
+    stable.
+
+    Examples
+    --------
+    >>> gen = IdGenerator(prefix="fn")
+    >>> gen.next()
+    'fn-0000'
+    >>> gen.next()
+    'fn-0001'
+    """
+
+    prefix: str = "id"
+    width: int = 4
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def next(self) -> str:
+        """Return the next identifier."""
+        return f"{self.prefix}-{next(self._counter):0{self.width}d}"
+
+    def peek_count(self) -> int:
+        """Return how many identifiers have been issued so far."""
+        value = next(self._counter)
+        # itertools.count cannot be rewound; recreate it one step back.
+        self._counter = itertools.count(value)
+        return value

@@ -1,0 +1,62 @@
+"""Unit constants and conversion helpers.
+
+All sizes inside the simulator are expressed in **bytes** and all durations in
+**seconds** unless a name explicitly says otherwise (``*_mb``, ``*_hours``).
+Costs are expressed in US dollars.
+"""
+
+from __future__ import annotations
+
+KB: int = 1024
+MB: int = 1024 * 1024
+GB: int = 1024 * 1024 * 1024
+TB: int = 1024 * 1024 * 1024 * 1024
+
+MINUTES: float = 60.0
+HOURS: float = 3600.0
+DAYS: float = 86400.0
+
+
+def mb_to_bytes(mb: float) -> int:
+    """Convert mebibytes to bytes (rounded to the nearest byte)."""
+    return int(round(mb * MB))
+
+
+def gb_to_bytes(gb: float) -> int:
+    """Convert gibibytes to bytes (rounded to the nearest byte)."""
+    return int(round(gb * GB))
+
+
+def bytes_to_mb(n_bytes: float) -> float:
+    """Convert bytes to mebibytes."""
+    return n_bytes / MB
+
+
+def bytes_to_gb(n_bytes: float) -> float:
+    """Convert bytes to gibibytes."""
+    return n_bytes / GB
+
+
+def bytes_to_tb(n_bytes: float) -> float:
+    """Convert bytes to tebibytes."""
+    return n_bytes / TB
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return seconds / HOURS
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return hours * HOURS
+
+
+def per_month_to_per_second(dollars_per_month: float) -> float:
+    """Convert a monthly price to a per-second price (30-day month)."""
+    return dollars_per_month / (30.0 * DAYS)
+
+
+def per_hour_to_per_second(dollars_per_hour: float) -> float:
+    """Convert an hourly price to a per-second price."""
+    return dollars_per_hour / HOURS

@@ -1,0 +1,15 @@
+"""FLStore core: cache engine, request tracker, serverless cache, caching policies."""
+
+from repro.core.cache_engine import CacheEngine
+from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.core.request_tracker import RequestTracker
+from repro.core.serverless_cache import ServerlessCacheCluster
+
+__all__ = [
+    "CacheEngine",
+    "FLStore",
+    "RequestTracker",
+    "ServeResult",
+    "ServerlessCacheCluster",
+    "build_default_flstore",
+]

@@ -1,0 +1,194 @@
+"""The Cache Engine (Section 4.2).
+
+The Cache Engine receives incoming FL metadata from training, consults the
+caching policy to separate hot from cold data, tracks where every cached
+object lives (the ``(client, round) -> function_id`` dictionary of the
+paper), places hot objects into the serverless cache, and asynchronously
+backs everything up to the persistent store.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+from repro.cloud.object_store import ObjectStore
+from repro.cloud.payload import payload_size_bytes
+from repro.core.policies.base import CachingPolicy, PolicyPlan
+from repro.core.serverless_cache import ServerlessCacheCluster
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.fl.rounds import RoundRecord
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+from repro.workloads.base import WorkloadRequest
+
+
+@dataclass
+class IngestReport:
+    """Accounting of one round ingestion."""
+
+    round_id: int
+    admitted_keys: int = 0
+    evicted_keys: int = 0
+    backup_cost: CostBreakdown = field(default_factory=CostBreakdown)
+    placement_latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+
+class CacheEngine:
+    """Separates hot from cold FL metadata and tracks cached object locations."""
+
+    def __init__(
+        self,
+        policy: CachingPolicy,
+        cluster: ServerlessCacheCluster,
+        persistent_store: ObjectStore,
+        catalog: RoundCatalog | None = None,
+    ) -> None:
+        self.policy = policy
+        self.cluster = cluster
+        self.persistent_store = persistent_store
+        self.catalog = catalog if catalog is not None else RoundCatalog()
+        #: The paper's CacheEngine dictionary: cached key -> function id.
+        self._locations: dict[DataKey, str] = {}
+        #: Objects we failed to place (capacity); they stay cold in the store.
+        self.placement_failures: int = 0
+
+    # ------------------------------------------------------------- ingestion
+
+    def ingest_round(self, record: RoundRecord, now: float = 0.0) -> IngestReport:
+        """Ingest a completed training round (Step 1 and Steps 4-5 of Figure 6).
+
+        Every object is asynchronously backed up to the persistent store
+        (cold path); the policy decides which objects are hot and go into the
+        serverless cache.  Backup cost is accounted for but backup latency is
+        off the request path.
+        """
+        self.catalog.register_round(record)
+        report = IngestReport(round_id=record.round_id)
+
+        for key, value in record.objects():
+            result = self.persistent_store.put(key, value, size_bytes=payload_size_bytes(value))
+            report.backup_cost = report.backup_cost + result.cost
+
+        plan = self.policy.plan_ingest(record, self.catalog)
+        report.placement_latency, admitted = self._apply_admissions(plan.admit_keys, record, now)
+        report.admitted_keys = admitted
+        report.evicted_keys = self._apply_evictions(plan.evict_keys)
+        self._enforce_capacity()
+        return report
+
+    def _apply_admissions(
+        self, keys: list[DataKey], record: RoundRecord, now: float
+    ) -> tuple[LatencyBreakdown, int]:
+        latency = LatencyBreakdown.zero()
+        admitted = 0
+        for key in keys:
+            if self.is_cached(key):
+                continue
+            try:
+                value = record.get(key)
+            except KeyError:
+                continue
+            size = payload_size_bytes(value)
+            try:
+                placement = self.cluster.place(key, value, size, now=now)
+            except Exception:  # CapacityError or platform limits: keep the object cold
+                self.placement_failures += 1
+                continue
+            latency = latency + placement.latency
+            self._locations[key] = placement.primary_function_id
+            self.policy.record_admission(key, size, now)
+            admitted += 1
+        return latency, admitted
+
+    def _apply_evictions(self, keys: list[DataKey]) -> int:
+        evicted = 0
+        for key in keys:
+            if self.cluster.evict(key):
+                evicted += 1
+            self._locations.pop(key, None)
+            self.policy.record_eviction(key)
+        return evicted
+
+    def _enforce_capacity(self) -> int:
+        """Evict policy-selected victims when a capacity-bounded policy overflows."""
+        capacity = self.policy.capacity_bytes
+        if capacity is None:
+            return 0
+        excess = self.cluster.total_cached_bytes - capacity
+        if excess <= 0:
+            return 0
+        victims = self.policy.select_evictions(excess, self.cluster.cached_sizes())
+        return self._apply_evictions(victims)
+
+    # ------------------------------------------------------- request support
+
+    def lookup(self, keys: list[DataKey]) -> dict[DataKey, str | None]:
+        """Resolve ``keys`` to the functions caching them (``None`` on miss)."""
+        result: dict[DataKey, str | None] = {}
+        for key in keys:
+            resolved = self.cluster.resolve(key)
+            result[key] = resolved.function_id
+            if resolved.function_id is not None:
+                self._locations[key] = resolved.function_id
+            else:
+                self._locations.pop(key, None)
+        return result
+
+    def is_cached(self, key: DataKey) -> bool:
+        """Whether a live copy of ``key`` exists in the serverless cache."""
+        return self.cluster.contains(key)
+
+    def admit(self, key: DataKey, value: object, now: float = 0.0) -> LatencyBreakdown:
+        """Place a single object (fetched on demand or prefetched) into the cache."""
+        size = payload_size_bytes(value)
+        try:
+            placement = self.cluster.place(key, value, size, now=now)
+        except Exception:
+            self.placement_failures += 1
+            return LatencyBreakdown.zero()
+        self._locations[key] = placement.primary_function_id
+        self.policy.record_admission(key, size, now)
+        self._enforce_capacity()
+        return placement.latency
+
+    def plan_request(self, request: WorkloadRequest, required_keys: list[DataKey]) -> PolicyPlan:
+        """Ask the policy for prefetch/evict advice around ``request``."""
+        return self.policy.plan_request(request, required_keys, self.catalog)
+
+    def apply_evictions(self, keys: list[DataKey]) -> int:
+        """Evict ``keys`` from the serverless cache (public request-path hook)."""
+        return self._apply_evictions(keys)
+
+    def drop_lost_keys(self) -> list[DataKey]:
+        """Forget mappings whose cached copies were all reclaimed."""
+        lost = self.cluster.drop_lost_keys()
+        for key in lost:
+            self._locations.pop(key, None)
+        return lost
+
+    # ------------------------------------------------------------ inspection
+
+    def register_location(self, key: DataKey, function_id: str) -> None:
+        """Record that ``key`` is cached on ``function_id`` without moving data.
+
+        Used when reconstructing the location table (e.g. after a Cache Engine
+        restart) and by the component-overhead experiment of Section 5.5.
+        """
+        self._locations[key] = function_id
+
+    def location_of(self, key: DataKey) -> str | None:
+        """The function currently recorded as caching ``key`` (``None`` if unknown)."""
+        return self._locations.get(key)
+
+    @property
+    def cached_key_count(self) -> int:
+        """Number of keys currently tracked as cached."""
+        return len(self._locations)
+
+    def memory_overhead_bytes(self) -> int:
+        """Approximate footprint of the location dictionary (Section 5.5)."""
+        total = sys.getsizeof(self._locations)
+        for key, function_id in self._locations.items():
+            total += sys.getsizeof(key) + sys.getsizeof(function_id)
+        return total

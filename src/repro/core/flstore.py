@@ -1,0 +1,359 @@
+"""The FLStore facade: serving non-training FL requests from a serverless cache.
+
+This module wires together the Cache Engine, the Request Tracker, the
+serverless cache cluster, and the persistent store into the system of
+Figure 5, and implements the end-to-end request workflow of Figure 6:
+
+1. client updates and metadata arrive after each training round and are
+   ingested (hot data into the serverless cache, everything into the
+   persistent store),
+2. a non-training request arrives at the Request Tracker,
+3. the Cache Engine resolves the data the request needs to the functions
+   caching it; misses are fetched from the persistent store,
+4. the workload executes *on* the serverless functions holding the data
+   (locality-aware execution), and
+5. the tailored caching policy prefetches the data the next request will
+   need and evicts data that is no longer necessary.
+
+The :meth:`FLStore.serve` method returns a :class:`ServeResult` carrying the
+workload output plus the latency and dollar cost of the request, decomposed
+the same way the paper's evaluation reports them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.cloud.object_store import ObjectStore
+from repro.cloud.payload import payload_size_bytes
+from repro.common.errors import DataNotFoundError
+from repro.common.ids import IdGenerator
+from repro.config import SimulationConfig
+from repro.core.cache_engine import CacheEngine, IngestReport
+from repro.core.policies.base import CachingPolicy
+from repro.core.policies.factory import make_policy_bundle
+from repro.core.request_tracker import RequestTracker
+from repro.core.serverless_cache import ServerlessCacheCluster
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.fl.models import ModelSpec, get_model_spec
+from repro.fl.rounds import RoundRecord
+from repro.network.costs import TransferCostModel
+from repro.network.model import NetworkTopology
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.serverless.platform import ServerlessPlatform
+from repro.simulation.clock import SimClock
+from repro.simulation.metrics import RequestRecord
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+from repro.workloads.base import Workload, WorkloadRequest
+from repro.workloads.registry import get_workload
+
+
+@dataclass
+class ServeResult:
+    """Outcome of serving one non-training request."""
+
+    request_id: str
+    workload: str
+    result: dict[str, Any]
+    latency: LatencyBreakdown
+    cost: CostBreakdown
+    cache_hits: int = 0
+    cache_misses: int = 0
+    failovers: int = 0
+    prefetched_keys: int = 0
+    evicted_keys: int = 0
+    served_by: list[str] = field(default_factory=list)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of required objects found in the serverless cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 1.0
+
+    def to_record(self, system: str, model_name: str, round_id: int, client_id: int | None = None) -> RequestRecord:
+        """Convert into a :class:`RequestRecord` for the metrics collector."""
+        return RequestRecord(
+            request_id=self.request_id,
+            system=system,
+            workload=self.workload,
+            model_name=model_name,
+            round_id=round_id,
+            latency=self.latency,
+            cost=self.cost,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            client_id=client_id,
+        )
+
+
+class FLStore:
+    """Serverless storage and execution layer for non-training FL workloads."""
+
+    system_name = "flstore"
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        policy: CachingPolicy | None = None,
+        replication_factor: int | None = None,
+        fault_injector: ZipfianFaultInjector | None = None,
+        persistent_store: ObjectStore | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.clock = clock or SimClock()
+        self.topology = NetworkTopology(self.config.network)
+        self.cost_model = TransferCostModel(self.config.pricing)
+        self.platform = ServerlessPlatform(
+            config=self.config.serverless, pricing=self.config.pricing, clock=self.clock
+        )
+        self.cluster = ServerlessCacheCluster(
+            self.platform, config=self.config.serverless, replication_factor=replication_factor
+        )
+        self.persistent_store = (
+            persistent_store
+            if persistent_store is not None
+            else ObjectStore(self.topology.objstore, self.cost_model, name="persistent-store")
+        )
+        self.catalog = RoundCatalog()
+        self.policy = policy or make_policy_bundle(
+            "tailored", config=self.config.cache_policy, seed=self.config.seed
+        )
+        self.engine = CacheEngine(self.policy, self.cluster, self.persistent_store, catalog=self.catalog)
+        self.tracker = RequestTracker()
+        self.fault_injector = fault_injector
+        self.model_spec: ModelSpec = get_model_spec(self.config.job.model_name)
+        self.ingest_cost = CostBreakdown.zero()
+        self._request_ids = IdGenerator(prefix="req", width=6)
+
+    # --------------------------------------------------------------- ingest
+
+    def ingest_round(self, record: RoundRecord) -> IngestReport:
+        """Ingest a freshly completed training round (asynchronous to requests)."""
+        report = self.engine.ingest_round(record, now=self.clock.now())
+        self.ingest_cost = self.ingest_cost + report.backup_cost
+        return report
+
+    # ---------------------------------------------------------------- serve
+
+    def make_request(
+        self,
+        workload: str,
+        round_id: int,
+        client_id: int | None = None,
+        history_rounds: int = 2,
+        **params: Any,
+    ) -> WorkloadRequest:
+        """Convenience constructor for a request with an auto-generated id."""
+        return WorkloadRequest(
+            request_id=self._request_ids.next(),
+            workload=workload,
+            round_id=round_id,
+            client_id=client_id,
+            history_rounds=history_rounds,
+            params=params,
+        )
+
+    def serve(self, request: WorkloadRequest) -> ServeResult:
+        """Serve one non-training request end to end (Figure 6 workflow)."""
+        workload = get_workload(request.workload)
+        required_keys = workload.required_keys(request, self.catalog)
+        self.tracker.submit(request.request_id)
+
+        latency = LatencyBreakdown.communication(self.topology.client.rtt_seconds)
+        cost = CostBreakdown.zero()
+        failovers = 0
+
+        # --- optional fault injection (function reclamations) --------------
+        if self.fault_injector is not None:
+            reclaimed = self.fault_injector.sample_reclamations(self.cluster.function_ids())
+            for function_id in reclaimed:
+                self.platform.reclaim_function(function_id)
+            if reclaimed:
+                self.engine.drop_lost_keys()
+
+        # --- resolve and gather required data ------------------------------
+        data: dict[DataKey, Any] = {}
+        hits = 0
+        misses = 0
+        miss_fetch_seconds = 0.0
+        failed_functions: set[str] = set()
+        now = self.clock.now()
+        for key in required_keys:
+            resolved = self.cluster.resolve(key)
+            if resolved.failed_over:
+                failovers += 1
+                # The failover timeout is paid once per failed primary
+                # function, not once per key it held.
+                primary = self.cluster.primary_function_of(key) or f"lost:{key}"
+                if primary not in failed_functions:
+                    failed_functions.add(primary)
+                    latency = latency + LatencyBreakdown(
+                        queueing_seconds=self.config.serverless.failover_timeout_seconds
+                    )
+            if resolved.is_hit:
+                hits += 1
+                data[key] = self.platform.get_function(resolved.function_id).load(key)
+                self.policy.record_access(key, hit=True, now=now)
+                self.tracker.add_route(request.request_id, resolved.function_id)
+            else:
+                misses += 1
+                fetch_latency, fetch_cost, value = self._fetch_from_persistent(key)
+                latency = latency + fetch_latency
+                cost = cost + fetch_cost
+                miss_fetch_seconds += fetch_latency.total_seconds
+                self.policy.record_access(key, hit=False, now=now)
+                if value is None:
+                    continue
+                data[key] = value
+                if self.policy.admit_on_miss:
+                    latency = latency + self.engine.admit(key, value, now=now)
+
+        # --- locality-aware execution on the serverless cache --------------
+        compute_seconds = workload.compute_seconds(self.model_spec, max(len(required_keys), 1))
+        execution_function = self.cluster.pick_execution_function(required_keys)
+        if execution_function is None:
+            execution_function = self._any_warm_function(latency_accumulator=None)
+        invoke = self.platform.invoke(execution_function, busy_seconds=compute_seconds)
+        latency = latency + invoke.latency
+        cost = cost + invoke.cost
+        self.tracker.add_route(request.request_id, execution_function)
+        if miss_fetch_seconds > 0:
+            # The executing function is occupied (and billed per GB-second)
+            # while it pulls cold objects from the persistent store; the
+            # latency of that wait is already counted above, this adds the
+            # corresponding serverless billing.
+            memory_gb = (
+                self.platform.get_function(execution_function).memory_limit_bytes / (1024**3)
+            )
+            cost = cost + self.cost_model.lambda_execution_cost(memory_gb, miss_fetch_seconds)
+
+        result = workload.compute(request, data)
+
+        # --- return results and persist them --------------------------------
+        latency = latency + LatencyBreakdown.communication(
+            self.topology.client.transfer_seconds(workload.result_size_bytes)
+        )
+        result_key = ("result", request.request_id)
+        store_result = self.persistent_store.put(result_key, result, size_bytes=workload.result_size_bytes)
+        cost = cost + store_result.cost  # asynchronous: cost counted, latency off the critical path
+
+        # --- tailored prefetching and eviction ------------------------------
+        plan = self.engine.plan_request(request, required_keys)
+        prefetched = 0
+        for key in plan.prefetch_keys:
+            if self.engine.is_cached(key):
+                continue
+            _, fetch_cost, value = self._fetch_from_persistent(key)
+            if value is None:
+                continue
+            cost = cost + fetch_cost  # prefetch is asynchronous: cost only
+            self.engine.admit(key, value, now=self.clock.now())
+            prefetched += 1
+        evicted = self.engine.apply_evictions(plan.evict_keys)
+
+        # --- per-request share of always-on costs ---------------------------
+        cost = cost + self._provisioned_share()
+
+        self.tracker.complete(request.request_id)
+        self.clock.advance(latency.total_seconds)
+        return ServeResult(
+            request_id=request.request_id,
+            workload=request.workload,
+            result=result,
+            latency=latency,
+            cost=cost,
+            cache_hits=hits,
+            cache_misses=misses,
+            failovers=failovers,
+            prefetched_keys=prefetched,
+            evicted_keys=evicted,
+            served_by=list(self.tracker.get(request.request_id).function_ids),
+        )
+
+    # ---------------------------------------------------------------- helpers
+
+    def _fetch_from_persistent(self, key: DataKey) -> tuple[LatencyBreakdown, CostBreakdown, Any]:
+        """Fetch a cold object from the persistent store (returns ``None`` if absent)."""
+        try:
+            result = self.persistent_store.get(key)
+        except DataNotFoundError:
+            return LatencyBreakdown.zero(), CostBreakdown.zero(), None
+        return result.latency, result.cost, result.value
+
+    def _any_warm_function(self, latency_accumulator: LatencyBreakdown | None) -> str:
+        """Return any warm function, spawning one if the fleet is empty."""
+        warm = self.platform.warm_functions()
+        if warm:
+            return warm[0].function_id
+        function, spawn = self.platform.spawn_function()
+        if latency_accumulator is not None:  # pragma: no cover - defensive
+            latency_accumulator = latency_accumulator + spawn.latency
+        return function.function_id
+
+    def _provisioned_share(self) -> CostBreakdown:
+        """Per-request share of FLStore's always-on costs (keep-alive pings)."""
+        share_hours = self.config.trace_duration_hours / max(1, self.config.trace_num_requests)
+        return self.platform.keepalive_cost(share_hours)
+
+    # ------------------------------------------------------------- reporting
+
+    def standby_cost(self, duration_hours: float | None = None) -> CostBreakdown:
+        """Cost of keeping FLStore available for ``duration_hours`` with no requests."""
+        hours = self.config.trace_duration_hours if duration_hours is None else duration_hours
+        return self.platform.keepalive_cost(hours)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes of FL metadata currently resident in the serverless cache."""
+        return self.cluster.total_cached_bytes
+
+    @property
+    def warm_function_count(self) -> int:
+        """Number of warm serverless functions backing the cache."""
+        return self.platform.warm_count
+
+    def component_overhead(self) -> dict[str, int]:
+        """Memory overhead of the Cache Engine and Request Tracker (Section 5.5)."""
+        return {
+            "cache_engine_bytes": self.engine.memory_overhead_bytes(),
+            "request_tracker_bytes": self.tracker.memory_overhead_bytes(),
+        }
+
+
+def build_default_flstore(
+    config: SimulationConfig | None = None,
+    policy_mode: str = "tailored",
+    replication_factor: int | None = None,
+    fault_injector: ZipfianFaultInjector | None = None,
+    persistent_store: ObjectStore | None = None,
+) -> FLStore:
+    """Build an FLStore instance with the requested policy variant.
+
+    Parameters
+    ----------
+    config:
+        Simulation configuration (defaults to the paper's setup).
+    policy_mode:
+        Policy variant: ``"tailored"`` (FLStore), ``"limited"``, ``"static"``,
+        ``"random-policy"``, ``"lru"``, ``"lfu"``, ``"fifo"`` or
+        ``"random-eviction"`` (see Figure 11 and Table 2).
+    replication_factor:
+        Number of replica functions per cached object (Section 4.5).
+    fault_injector:
+        Optional Zipfian reclamation injector (Appendix A.2).
+    persistent_store:
+        Use an existing persistent store (lets several systems share one
+        cold-data repository in comparative experiments).
+    """
+    config = config or SimulationConfig()
+    policy = make_policy_bundle(policy_mode, config=config.cache_policy, seed=config.seed)
+    return FLStore(
+        config=config,
+        policy=policy,
+        replication_factor=replication_factor,
+        fault_injector=fault_injector,
+        persistent_store=persistent_store,
+    )

@@ -1,0 +1,126 @@
+"""Multi-tenant FLStore (Appendix A of the paper).
+
+The serverless paradigm isolates functions per invocation, so one FLStore
+deployment can host an isolated cache per user/FL-job ("tenant"), each with
+its own caching-policy configuration, while sharing nothing but the physical
+platform abstraction.  :class:`MultiTenantFLStore` manages one
+:class:`~repro.core.flstore.FLStore` instance per tenant and routes ingestion
+and requests by tenant id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SimulationConfig
+from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.fl.rounds import RoundRecord
+from repro.simulation.records import CostBreakdown
+from repro.workloads.base import WorkloadRequest
+
+
+@dataclass
+class TenantHandle:
+    """Bookkeeping for one tenant's isolated FLStore instance."""
+
+    tenant_id: str
+    flstore: FLStore
+    policy_mode: str = "tailored"
+    rounds_ingested: int = 0
+    requests_served: int = 0
+
+
+class MultiTenantFLStore:
+    """Hosts several isolated FLStore caches, one per tenant.
+
+    Parameters
+    ----------
+    default_config:
+        Configuration used for tenants registered without an explicit one.
+    """
+
+    def __init__(self, default_config: SimulationConfig | None = None) -> None:
+        self.default_config = default_config or SimulationConfig()
+        self._tenants: dict[str, TenantHandle] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register_tenant(
+        self,
+        tenant_id: str,
+        config: SimulationConfig | None = None,
+        policy_mode: str = "tailored",
+    ) -> TenantHandle:
+        """Create an isolated FLStore for ``tenant_id``.
+
+        Raises
+        ------
+        ValueError
+            If the tenant is already registered.
+        """
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} is already registered")
+        flstore = build_default_flstore(config or self.default_config, policy_mode=policy_mode)
+        handle = TenantHandle(tenant_id=tenant_id, flstore=flstore, policy_mode=policy_mode)
+        self._tenants[tenant_id] = handle
+        return handle
+
+    def remove_tenant(self, tenant_id: str) -> bool:
+        """Drop a tenant and its cache; returns whether it existed."""
+        return self._tenants.pop(tenant_id, None) is not None
+
+    def tenant(self, tenant_id: str) -> TenantHandle:
+        """Return the handle of ``tenant_id``."""
+        try:
+            return self._tenants[tenant_id]
+        except KeyError as exc:
+            raise KeyError(f"tenant {tenant_id!r} is not registered") from exc
+
+    def tenants(self) -> list[str]:
+        """Identifiers of every registered tenant."""
+        return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        return len(self._tenants)
+
+    # ------------------------------------------------------------ data path
+
+    def ingest_round(self, tenant_id: str, record: RoundRecord) -> None:
+        """Ingest a training round into ``tenant_id``'s cache only."""
+        handle = self.tenant(tenant_id)
+        handle.flstore.ingest_round(record)
+        handle.rounds_ingested += 1
+
+    def serve(self, tenant_id: str, request: WorkloadRequest) -> ServeResult:
+        """Serve a non-training request against ``tenant_id``'s cache only."""
+        handle = self.tenant(tenant_id)
+        result = handle.flstore.serve(request)
+        handle.requests_served += 1
+        return result
+
+    # ------------------------------------------------------------ reporting
+
+    def total_cached_bytes(self) -> int:
+        """Bytes resident across every tenant's cache."""
+        return sum(handle.flstore.cached_bytes for handle in self._tenants.values())
+
+    def standby_cost(self, duration_hours: float) -> CostBreakdown:
+        """Keep-alive cost of every tenant's cache for ``duration_hours``."""
+        total = CostBreakdown.zero()
+        for handle in self._tenants.values():
+            total = total + handle.flstore.standby_cost(duration_hours)
+        return total
+
+    def usage_report(self) -> list[dict[str, object]]:
+        """Per-tenant usage summary (rounds, requests, cache footprint)."""
+        return [
+            {
+                "tenant": handle.tenant_id,
+                "policy_mode": handle.policy_mode,
+                "rounds_ingested": handle.rounds_ingested,
+                "requests_served": handle.requests_served,
+                "cached_mb": handle.flstore.cached_bytes / (1024 * 1024),
+                "warm_functions": handle.flstore.warm_function_count,
+            }
+            for handle in sorted(self._tenants.values(), key=lambda h: h.tenant_id)
+        ]

@@ -1,0 +1,35 @@
+"""Caching policies: the tailored FLStore policies (P1-P4) and traditional baselines."""
+
+from repro.core.policies.base import CachingPolicy, PolicyPlan
+from repro.core.policies.tailored import (
+    AcrossRoundsPolicy,
+    AllUpdatesInRoundPolicy,
+    MetadataPolicy,
+    SingleModelPolicy,
+    TailoredPolicyBundle,
+)
+from repro.core.policies.traditional import (
+    FIFOPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomEvictionPolicy,
+)
+from repro.core.policies.variants import RandomSelectionBundle, StaticPolicyBundle
+from repro.core.policies.factory import make_policy_bundle
+
+__all__ = [
+    "AcrossRoundsPolicy",
+    "AllUpdatesInRoundPolicy",
+    "CachingPolicy",
+    "FIFOPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "MetadataPolicy",
+    "PolicyPlan",
+    "RandomEvictionPolicy",
+    "RandomSelectionBundle",
+    "SingleModelPolicy",
+    "StaticPolicyBundle",
+    "TailoredPolicyBundle",
+    "make_policy_bundle",
+]

@@ -1,0 +1,71 @@
+"""Factory for the policy variants evaluated in Figure 11, Table 2, and Appendix C."""
+
+from __future__ import annotations
+
+from repro.config import CachePolicyConfig
+from repro.core.policies.base import CachingPolicy
+from repro.core.policies.tailored import TailoredPolicyBundle
+from repro.core.policies.traditional import FIFOPolicy, LFUPolicy, LRUPolicy, RandomEvictionPolicy
+from repro.core.policies.variants import RandomSelectionBundle, StaticPolicyBundle
+from repro.workloads.base import PolicyClass
+
+#: Policy modes accepted by :func:`make_policy_bundle` and the FLStore builder.
+POLICY_MODES: tuple[str, ...] = (
+    "tailored",
+    "limited",
+    "static",
+    "random-policy",
+    "lru",
+    "lfu",
+    "fifo",
+    "random-eviction",
+)
+
+
+def make_policy_bundle(
+    mode: str = "tailored",
+    config: CachePolicyConfig | None = None,
+    seed: int = 7,
+    static_class: PolicyClass = PolicyClass.P1_INDIVIDUAL,
+) -> CachingPolicy:
+    """Build the caching policy identified by ``mode``.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`POLICY_MODES`:
+
+        * ``"tailored"`` — FLStore's taxonomy-driven P1-P4 bundle,
+        * ``"limited"`` — the same bundle with half the traditional capacity
+          (the FLStore-limited variant of Figure 11),
+        * ``"static"`` — the FLStore-Static ablation (fixed policy class),
+        * ``"random-policy"`` — the FLStore-Random ablation,
+        * ``"lru"`` / ``"lfu"`` / ``"fifo"`` / ``"random-eviction"`` —
+          traditional capacity-bounded policies.
+    config:
+        Policy tunables (recent-round window, prefetch depth, capacities).
+    seed:
+        Seed for the stochastic variants.
+    static_class:
+        The fixed class used by ``"static"``.
+    """
+    config = config or CachePolicyConfig()
+    mode = mode.lower()
+    if mode == "tailored":
+        return TailoredPolicyBundle(config=config)
+    if mode == "limited":
+        capacity = int(config.traditional_policy_capacity_bytes * config.limited_capacity_fraction)
+        return TailoredPolicyBundle(config=config, capacity_bytes=capacity)
+    if mode == "static":
+        return StaticPolicyBundle(fixed_class=static_class, config=config)
+    if mode == "random-policy":
+        return RandomSelectionBundle(config=config, seed=seed)
+    if mode == "lru":
+        return LRUPolicy(capacity_bytes=config.traditional_policy_capacity_bytes)
+    if mode == "lfu":
+        return LFUPolicy(capacity_bytes=config.traditional_policy_capacity_bytes)
+    if mode == "fifo":
+        return FIFOPolicy(capacity_bytes=config.traditional_policy_capacity_bytes)
+    if mode == "random-eviction":
+        return RandomEvictionPolicy(capacity_bytes=config.traditional_policy_capacity_bytes, seed=seed)
+    raise ValueError(f"unknown policy mode {mode!r}; expected one of {POLICY_MODES}")

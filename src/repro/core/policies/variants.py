@@ -1,0 +1,56 @@
+"""FLStore policy variants used in the paper's ablations.
+
+* :class:`StaticPolicyBundle` — the FLStore-Static ablation (Appendix C):
+  the caching policy is fixed to one workload class and never adapts when the
+  request mix changes (e.g. still caching only the aggregated model after the
+  workload switched from inference to malicious filtering).
+* :class:`RandomSelectionBundle` — the FLStore-Random ablation (Section 5.4):
+  a policy class is chosen uniformly at random for every request, ignoring
+  the taxonomy.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import derive_rng
+from repro.config import CachePolicyConfig
+from repro.core.policies.tailored import TailoredPolicyBundle
+from repro.workloads.base import PolicyClass, WorkloadRequest
+
+
+class StaticPolicyBundle(TailoredPolicyBundle):
+    """A tailored bundle whose policy class never changes with the workload."""
+
+    name = "flstore-static"
+
+    def __init__(
+        self,
+        fixed_class: PolicyClass = PolicyClass.P1_INDIVIDUAL,
+        config: CachePolicyConfig | None = None,
+        capacity_bytes: int | None = None,
+    ) -> None:
+        super().__init__(config=config, capacity_bytes=capacity_bytes)
+        self.fixed_class = fixed_class
+
+    def select_policy_class(self, request: WorkloadRequest) -> PolicyClass:
+        del request
+        return self.fixed_class
+
+
+class RandomSelectionBundle(TailoredPolicyBundle):
+    """A tailored bundle that picks a random policy class for every request."""
+
+    name = "flstore-random"
+
+    def __init__(
+        self,
+        config: CachePolicyConfig | None = None,
+        capacity_bytes: int | None = None,
+        seed: int = 7,
+    ) -> None:
+        super().__init__(config=config, capacity_bytes=capacity_bytes)
+        self._rng = derive_rng(seed, "random-policy-selection")
+        self._classes = list(PolicyClass)
+
+    def select_policy_class(self, request: WorkloadRequest) -> PolicyClass:
+        del request
+        return self._classes[int(self._rng.integers(0, len(self._classes)))]

@@ -1,0 +1,110 @@
+"""The Request Tracker (Section 4.3).
+
+Receives non-training requests, records which functions each request was
+routed to and whether it has completed, and reroutes requests to secondary
+function instances when a primary fails to respond.  Its state is the
+``request_id -> ([function_ids], status)`` dictionary described in the paper;
+the overhead experiment of Section 5.5 measures the memory footprint of that
+dictionary, which :meth:`RequestTracker.memory_overhead_bytes` reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+
+
+@dataclass
+class TrackedRequest:
+    """Tracking entry for one in-flight or completed request."""
+
+    request_id: str
+    function_ids: list[str] = field(default_factory=list)
+    completed: bool = False
+    #: Number of times the request was rerouted to a replica function.
+    failovers: int = 0
+
+
+class RequestTracker:
+    """Tracks routing and completion of non-training requests."""
+
+    def __init__(self) -> None:
+        self._requests: dict[str, TrackedRequest] = {}
+
+    # --------------------------------------------------------------- tracking
+
+    def submit(self, request_id: str, function_ids: list[str] | None = None) -> TrackedRequest:
+        """Register a new request routed to ``function_ids``."""
+        if request_id in self._requests:
+            raise ValueError(f"request {request_id!r} is already tracked")
+        entry = TrackedRequest(request_id=request_id, function_ids=list(function_ids or []))
+        self._requests[request_id] = entry
+        return entry
+
+    def get(self, request_id: str) -> TrackedRequest:
+        """Return the tracking entry of ``request_id``."""
+        try:
+            return self._requests[request_id]
+        except KeyError as exc:
+            raise KeyError(f"request {request_id!r} is not tracked") from exc
+
+    def add_route(self, request_id: str, function_id: str) -> None:
+        """Record that ``request_id`` was (additionally) routed to ``function_id``."""
+        entry = self.get(request_id)
+        if function_id not in entry.function_ids:
+            entry.function_ids.append(function_id)
+
+    def reroute(self, request_id: str, failed_function_id: str, replacement_function_id: str) -> None:
+        """Fail a request over from ``failed_function_id`` to ``replacement_function_id``."""
+        entry = self.get(request_id)
+        if failed_function_id in entry.function_ids:
+            entry.function_ids.remove(failed_function_id)
+        if replacement_function_id not in entry.function_ids:
+            entry.function_ids.append(replacement_function_id)
+        entry.failovers += 1
+
+    def complete(self, request_id: str) -> None:
+        """Mark ``request_id`` as finished."""
+        self.get(request_id).completed = True
+
+    # ------------------------------------------------------------- inspection
+
+    def is_completed(self, request_id: str) -> bool:
+        """Whether ``request_id`` has completed."""
+        return self.get(request_id).completed
+
+    def pending_requests(self) -> list[str]:
+        """Identifiers of every request not yet completed."""
+        return [rid for rid, entry in self._requests.items() if not entry.completed]
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __contains__(self, request_id: str) -> bool:
+        return request_id in self._requests
+
+    @property
+    def total_failovers(self) -> int:
+        """Total number of failovers across every tracked request."""
+        return sum(entry.failovers for entry in self._requests.values())
+
+    def memory_overhead_bytes(self) -> int:
+        """Approximate memory footprint of the tracking dictionary.
+
+        Used by the Section 5.5 overhead experiment; the estimate counts the
+        dictionary, its keys, and the per-entry routing lists.
+        """
+        total = sys.getsizeof(self._requests)
+        for request_id, entry in self._requests.items():
+            total += sys.getsizeof(request_id)
+            total += sys.getsizeof(entry.function_ids)
+            total += sum(sys.getsizeof(fid) for fid in entry.function_ids)
+            total += sys.getsizeof(entry.completed) + sys.getsizeof(entry.failovers)
+        return total
+
+    def clear_completed(self) -> int:
+        """Drop completed entries (long-running deployments prune periodically)."""
+        completed = [rid for rid, entry in self._requests.items() if entry.completed]
+        for rid in completed:
+            del self._requests[rid]
+        return len(completed)

@@ -1,0 +1,212 @@
+"""The serverless cache: disaggregated function memories holding FL metadata.
+
+This is the co-located compute & data plane of Figure 5.  Objects are placed
+into warm serverless functions at client-model granularity (each function
+holds at least one client model, Section 4.2), optionally replicated onto
+``k`` secondary functions for fault tolerance (Section 4.5), and non-training
+computations execute directly on the functions that hold the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import CapacityError, DataNotFoundError
+from repro.config import ServerlessConfig
+from repro.fl.keys import DataKey
+from repro.serverless.function import ServerlessFunction
+from repro.serverless.platform import ServerlessPlatform
+from repro.simulation.records import LatencyBreakdown, OperationResult
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of placing one object into the serverless cache."""
+
+    key: DataKey
+    primary_function_id: str
+    replica_function_ids: list[str] = field(default_factory=list)
+    #: Cold-start latency incurred if new functions had to be spawned.
+    latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
+
+
+@dataclass
+class ResolveResult:
+    """Outcome of resolving a key to a live function."""
+
+    key: DataKey
+    function_id: str | None
+    #: Whether the primary copy was lost and a replica answered instead.
+    failed_over: bool = False
+
+    @property
+    def is_hit(self) -> bool:
+        """Whether any live copy of the object exists in the cache."""
+        return self.function_id is not None
+
+
+class ServerlessCacheCluster:
+    """Places, replicates, resolves, and evicts cached FL metadata objects."""
+
+    def __init__(
+        self,
+        platform: ServerlessPlatform,
+        config: ServerlessConfig | None = None,
+        replication_factor: int | None = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or platform.config
+        self.replication_factor = (
+            self.config.replication_factor if replication_factor is None else replication_factor
+        )
+        self._primary: dict[DataKey, str] = {}
+        self._replicas: dict[DataKey, list[str]] = {}
+        self._sizes: dict[DataKey, int] = {}
+
+    # ------------------------------------------------------------- placement
+
+    def _spawn(self, size_bytes: int) -> tuple[ServerlessFunction, LatencyBreakdown]:
+        memory = self.config.default_function_memory_bytes
+        if size_bytes > memory:
+            memory = min(self.config.max_function_memory_bytes, size_bytes * 2)
+        if size_bytes > memory:
+            raise CapacityError(
+                f"object of {size_bytes} bytes exceeds the maximum function memory "
+                f"of {self.config.max_function_memory_bytes} bytes"
+            )
+        function, result = self.platform.spawn_function(memory_bytes=memory)
+        return function, result.latency
+
+    def _find_host(self, size_bytes: int, exclude: set[str]) -> tuple[ServerlessFunction, LatencyBreakdown]:
+        """Find (or spawn) a warm function that can hold ``size_bytes``."""
+        candidates = [
+            f
+            for f in self.platform.warm_functions()
+            if f.function_id not in exclude and f.can_fit(size_bytes)
+        ]
+        if candidates:
+            # Best-fit keeps the number of warm functions (and thus keep-alive
+            # cost) low, mirroring the paper's "only two Lambda functions"
+            # footprint argument in Section 4.4.
+            best = min(candidates, key=lambda f: f.free_bytes)
+            return best, LatencyBreakdown.zero()
+        return self._spawn(size_bytes)
+
+    def place(self, key: DataKey, value: Any, size_bytes: int, now: float = 0.0) -> PlacementResult:
+        """Cache ``value`` under ``key`` on a primary function plus replicas."""
+        latency = LatencyBreakdown.zero()
+        if key in self._primary:
+            self.evict(key)
+        exclude: set[str] = set()
+        primary, spawn_latency = self._find_host(size_bytes, exclude)
+        latency = latency + spawn_latency
+        primary.store(key, value, now=now, size_bytes=size_bytes)
+        exclude.add(primary.function_id)
+
+        replicas: list[str] = []
+        for _ in range(self.replication_factor):
+            try:
+                replica, spawn_latency = self._find_host(size_bytes, exclude)
+            except (CapacityError, RuntimeError):
+                break
+            latency = latency + spawn_latency
+            replica.store(key, value, now=now, size_bytes=size_bytes)
+            replicas.append(replica.function_id)
+            exclude.add(replica.function_id)
+
+        self._primary[key] = primary.function_id
+        self._replicas[key] = replicas
+        self._sizes[key] = size_bytes
+        return PlacementResult(
+            key=key,
+            primary_function_id=primary.function_id,
+            replica_function_ids=replicas,
+            latency=latency,
+        )
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve(self, key: DataKey) -> ResolveResult:
+        """Find a live function holding ``key``, failing over to replicas if needed."""
+        primary_id = self._primary.get(key)
+        if primary_id is None:
+            return ResolveResult(key=key, function_id=None)
+        primary = self.platform.get_function(primary_id)
+        if primary.is_warm and primary.holds(key):
+            return ResolveResult(key=key, function_id=primary_id)
+        for replica_id in self._replicas.get(key, []):
+            replica = self.platform.get_function(replica_id)
+            if replica.is_warm and replica.holds(key):
+                return ResolveResult(key=key, function_id=replica_id, failed_over=True)
+        return ResolveResult(key=key, function_id=None, failed_over=True)
+
+    def contains(self, key: DataKey) -> bool:
+        """Whether a live copy of ``key`` exists in the cache."""
+        return self.resolve(key).is_hit
+
+    def get_object(self, key: DataKey) -> Any:
+        """Return the cached object under ``key`` from any live copy."""
+        resolved = self.resolve(key)
+        if not resolved.is_hit:
+            raise DataNotFoundError(key, "serverless cache")
+        return self.platform.get_function(resolved.function_id).load(key)
+
+    # --------------------------------------------------------------- eviction
+
+    def evict(self, key: DataKey) -> bool:
+        """Remove every copy of ``key``; returns whether anything was removed."""
+        removed = False
+        for function_id in [self._primary.get(key), *self._replicas.get(key, [])]:
+            if function_id is None:
+                continue
+            function = self.platform.get_function(function_id)
+            if function.is_warm:
+                removed = function.evict(key) or removed
+        self._primary.pop(key, None)
+        self._replicas.pop(key, None)
+        self._sizes.pop(key, None)
+        return removed
+
+    def drop_lost_keys(self) -> list[DataKey]:
+        """Forget keys whose every copy was lost to reclamation; returns them."""
+        lost = [key for key in list(self._primary) if not self.resolve(key).is_hit]
+        for key in lost:
+            self._primary.pop(key, None)
+            self._replicas.pop(key, None)
+            self._sizes.pop(key, None)
+        return lost
+
+    # ------------------------------------------------------------ inspection
+
+    def cached_keys(self) -> list[DataKey]:
+        """Every key with at least one live copy."""
+        return [key for key in self._primary if self.resolve(key).is_hit]
+
+    def cached_sizes(self) -> dict[DataKey, int]:
+        """``key -> size`` for every key tracked by the cluster."""
+        return dict(self._sizes)
+
+    @property
+    def total_cached_bytes(self) -> int:
+        """Logical bytes of primary copies tracked by the cluster."""
+        return sum(self._sizes.values())
+
+    def primary_function_of(self, key: DataKey) -> str | None:
+        """Primary placement of ``key`` (even if currently reclaimed)."""
+        return self._primary.get(key)
+
+    def function_ids(self) -> list[str]:
+        """Identifiers of every warm function managed by the platform."""
+        return [f.function_id for f in self.platform.warm_functions()]
+
+    def pick_execution_function(self, keys: list[DataKey]) -> str | None:
+        """The warm function holding the largest share of ``keys``' bytes."""
+        tally: dict[str, int] = {}
+        for key in keys:
+            resolved = self.resolve(key)
+            if resolved.is_hit:
+                tally[resolved.function_id] = tally.get(resolved.function_id, 0) + self._sizes.get(key, 0)
+        if not tally:
+            return None
+        return max(tally, key=tally.get)

@@ -1,0 +1,27 @@
+"""Federated-learning substrate: models, clients, rounds, metadata, and job simulation."""
+
+from repro.fl.aggregation import fedavg
+from repro.fl.clients import ClientDevice, ClientPopulation
+from repro.fl.keys import DataKey, DataKind
+from repro.fl.metadata import ClientRoundMetadata, HyperParameters, ResourceProfile
+from repro.fl.models import MODEL_ZOO, ModelSpec, ModelUpdate, get_model_spec
+from repro.fl.rounds import RoundRecord
+from repro.fl.trainer import FLJobSimulator, FLJobState
+
+__all__ = [
+    "ClientDevice",
+    "ClientPopulation",
+    "ClientRoundMetadata",
+    "DataKey",
+    "DataKind",
+    "FLJobSimulator",
+    "FLJobState",
+    "HyperParameters",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "ModelUpdate",
+    "ResourceProfile",
+    "RoundRecord",
+    "fedavg",
+    "get_model_spec",
+]

@@ -1,0 +1,90 @@
+"""Model-update aggregation (FedAvg and robust variants).
+
+FLStore treats aggregation as just another workload that can run on the
+serverless cache (Section 3, "Serverless aggregators"); the reproduction
+provides FedAvg plus two robust aggregators used by the malicious-filtering
+and debugging workloads as references.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fl.models import ModelUpdate
+
+
+def _validate(updates: Sequence[ModelUpdate]) -> None:
+    if not updates:
+        raise ValueError("cannot aggregate an empty list of updates")
+    dims = {u.dim for u in updates}
+    if len(dims) != 1:
+        raise ValueError(f"updates have inconsistent dimensionality: {sorted(dims)}")
+    names = {u.model_name for u in updates}
+    if len(names) != 1:
+        raise ValueError(f"updates come from different model architectures: {sorted(names)}")
+
+
+def fedavg(updates: Sequence[ModelUpdate], round_id: int | None = None) -> ModelUpdate:
+    """Sample-weighted federated averaging (McMahan et al., 2017).
+
+    Each update is weighted by its ``num_samples`` metric (defaulting to 1).
+    The result is an aggregate :class:`ModelUpdate` with ``client_id == -1``.
+    """
+    _validate(updates)
+    weights = np.array([float(u.metrics.get("num_samples", 1.0)) for u in updates])
+    weights = weights / weights.sum()
+    stacked = np.stack([u.weights for u in updates])
+    averaged = np.einsum("i,ij->j", weights, stacked)
+    reference = updates[0]
+    return ModelUpdate(
+        client_id=-1,
+        round_id=round_id if round_id is not None else reference.round_id,
+        model_name=reference.model_name,
+        weights=averaged,
+        size_bytes=reference.size_bytes,
+        metrics={"num_samples": float(sum(u.metrics.get("num_samples", 1.0) for u in updates))},
+    )
+
+
+def coordinate_median(updates: Sequence[ModelUpdate], round_id: int | None = None) -> ModelUpdate:
+    """Coordinate-wise median aggregation, robust to a minority of outliers."""
+    _validate(updates)
+    stacked = np.stack([u.weights for u in updates])
+    median = np.median(stacked, axis=0)
+    reference = updates[0]
+    return ModelUpdate(
+        client_id=-1,
+        round_id=round_id if round_id is not None else reference.round_id,
+        model_name=reference.model_name,
+        weights=median,
+        size_bytes=reference.size_bytes,
+        metrics={"aggregator": 1.0},
+    )
+
+
+def trimmed_mean(
+    updates: Sequence[ModelUpdate],
+    trim_fraction: float = 0.1,
+    round_id: int | None = None,
+) -> ModelUpdate:
+    """Coordinate-wise trimmed mean, dropping the ``trim_fraction`` extremes per side."""
+    _validate(updates)
+    if not 0.0 <= trim_fraction < 0.5:
+        raise ValueError("trim_fraction must be in [0, 0.5)")
+    stacked = np.stack([u.weights for u in updates])
+    n = stacked.shape[0]
+    k = int(np.floor(trim_fraction * n))
+    sorted_values = np.sort(stacked, axis=0)
+    trimmed = sorted_values[k : n - k] if n - 2 * k > 0 else sorted_values
+    mean = trimmed.mean(axis=0)
+    reference = updates[0]
+    return ModelUpdate(
+        client_id=-1,
+        round_id=round_id if round_id is not None else reference.round_id,
+        model_name=reference.model_name,
+        weights=mean,
+        size_bytes=reference.size_bytes,
+        metrics={"aggregator": 2.0},
+    )

@@ -1,0 +1,80 @@
+"""Canonical keys identifying FL metadata objects across every store.
+
+The Cache Engine of the paper tracks data with ``(client, round) -> function``
+mappings (Section 4.2).  We generalise the key slightly so that aggregated
+models and per-client configuration metadata share the same key space as
+client model updates; this lets the persistent store, the serverless cache,
+and every caching policy speak about the same objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class DataKind(enum.Enum):
+    """What kind of FL metadata a key refers to."""
+
+    #: A single client's model update for one round.
+    CLIENT_UPDATE = "client_update"
+    #: The aggregated (global) model produced at the end of one round.
+    AGGREGATE = "aggregate"
+    #: Configuration / performance metadata for one client and round
+    #: (hyperparameters, resources, accuracy, payouts).
+    METADATA = "metadata"
+
+
+@dataclass(frozen=True, order=True)
+class DataKey:
+    """Identifies one FL metadata object.
+
+    Attributes
+    ----------
+    kind:
+        The object category (update, aggregate, metadata).
+    round_id:
+        Training round the object belongs to.
+    client_id:
+        Producing client, or ``-1`` for round-level objects such as the
+        aggregated model.
+    """
+
+    kind: DataKind
+    round_id: int
+    client_id: int = -1
+
+    @classmethod
+    def update(cls, client_id: int, round_id: int) -> "DataKey":
+        """Key of ``client_id``'s model update in ``round_id``."""
+        return cls(kind=DataKind.CLIENT_UPDATE, round_id=round_id, client_id=client_id)
+
+    @classmethod
+    def aggregate(cls, round_id: int) -> "DataKey":
+        """Key of the aggregated model produced in ``round_id``."""
+        return cls(kind=DataKind.AGGREGATE, round_id=round_id, client_id=-1)
+
+    @classmethod
+    def metadata(cls, client_id: int, round_id: int) -> "DataKey":
+        """Key of ``client_id``'s configuration/performance metadata in ``round_id``."""
+        return cls(kind=DataKind.METADATA, round_id=round_id, client_id=client_id)
+
+    @property
+    def is_update(self) -> bool:
+        """Whether this key refers to a client model update."""
+        return self.kind is DataKind.CLIENT_UPDATE
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether this key refers to an aggregated model."""
+        return self.kind is DataKind.AGGREGATE
+
+    @property
+    def is_metadata(self) -> bool:
+        """Whether this key refers to configuration/performance metadata."""
+        return self.kind is DataKind.METADATA
+
+    def __str__(self) -> str:
+        if self.is_aggregate:
+            return f"aggregate/r{self.round_id}"
+        return f"{self.kind.value}/c{self.client_id}/r{self.round_id}"

@@ -1,0 +1,189 @@
+"""Synthetic FL job simulation: produces the metadata stream FLStore stores.
+
+The paper's evaluation does not depend on the *quality* of the trained models
+— only on the metadata stream an FL job generates: per-round client model
+updates of realistic size, per-client configuration/performance metadata,
+and the aggregated model.  :class:`FLJobSimulator` generates that stream
+deterministically, with enough structure that the non-training workloads have
+meaningful work to do:
+
+* clients belong to latent clusters, so clustering/personalization recover
+  structure,
+* malicious clients submit out-of-distribution updates, so filtering and
+  debugging can detect them,
+* local accuracy follows a noisy convergence curve, so incentive and
+  reputation calculations vary across clients and rounds,
+* hyperparameters and device resources drift, so scheduling and tuning
+  workloads see changing metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import derive_rng
+from repro.config import FLJobConfig, SimulationConfig
+from repro.fl.aggregation import fedavg
+from repro.fl.clients import ClientDevice, ClientPopulation
+from repro.fl.metadata import ClientRoundMetadata, HyperParameters
+from repro.fl.models import ModelSpec, ModelUpdate, get_model_spec
+from repro.fl.rounds import RoundRecord
+
+
+@dataclass
+class FLJobState:
+    """Mutable state of a running simulated FL job."""
+
+    model_spec: ModelSpec
+    global_weights: np.ndarray
+    current_round: int = 0
+    #: Mean local accuracy per completed round (a noisy convergence curve).
+    accuracy_history: list[float] = field(default_factory=list)
+
+    @property
+    def latest_accuracy(self) -> float:
+        """Mean local accuracy of the last completed round (0 before any round)."""
+        return self.accuracy_history[-1] if self.accuracy_history else 0.0
+
+
+class FLJobSimulator:
+    """Generates :class:`RoundRecord` objects for a configured FL job."""
+
+    def __init__(self, config: SimulationConfig | FLJobConfig | None = None, seed: int | None = None) -> None:
+        if config is None:
+            config = SimulationConfig()
+        if isinstance(config, SimulationConfig):
+            self.job_config = config.job
+            self.seed = config.seed if seed is None else seed
+        else:
+            self.job_config = config
+            self.seed = 7 if seed is None else seed
+        self.model_spec = get_model_spec(self.job_config.model_name)
+        self.population = ClientPopulation(self.job_config, seed=self.seed)
+        rng = derive_rng(self.seed, "global-init")
+        dim = self.job_config.reduced_dim
+        self._cluster_centers = derive_rng(self.seed, "cluster-centers").normal(
+            0.0, 1.0, size=(self.job_config.latent_clusters, dim)
+        )
+        self.state = FLJobState(
+            model_spec=self.model_spec,
+            global_weights=rng.normal(0.0, 0.1, size=dim),
+        )
+
+    # ------------------------------------------------------------ generation
+
+    def generate_round(self, round_id: int | None = None) -> RoundRecord:
+        """Generate (and apply) the next training round.
+
+        Passing an explicit ``round_id`` is only allowed if it equals the next
+        round; rounds must be generated in order because each round's updates
+        depend on the current global model.
+        """
+        next_round = self.state.current_round
+        if round_id is not None and round_id != next_round:
+            raise ConfigurationError(
+                f"rounds must be generated in order; expected {next_round}, got {round_id}"
+            )
+        participants = self.population.select_round_participants(next_round)
+        updates: dict[int, ModelUpdate] = {}
+        metadata: dict[int, ClientRoundMetadata] = {}
+        accuracies: list[float] = []
+        for client in participants:
+            update, meta = self._client_round(client, next_round)
+            updates[client.client_id] = update
+            metadata[client.client_id] = meta
+            accuracies.append(meta.local_accuracy)
+        aggregate = fedavg(list(updates.values()), round_id=next_round)
+        self.state.global_weights = aggregate.weights
+        self.state.accuracy_history.append(float(np.mean(accuracies)))
+        self.state.current_round += 1
+        return RoundRecord(round_id=next_round, updates=updates, aggregate=aggregate, metadata=metadata)
+
+    def run_rounds(self, num_rounds: int) -> list[RoundRecord]:
+        """Generate the next ``num_rounds`` rounds and return them."""
+        if num_rounds < 0:
+            raise ValueError("num_rounds must be non-negative")
+        return [self.generate_round() for _ in range(num_rounds)]
+
+    def rounds(self, num_rounds: int | None = None) -> Iterator[RoundRecord]:
+        """Lazily iterate over rounds (defaults to the configured total)."""
+        total = self.job_config.total_rounds if num_rounds is None else num_rounds
+        for _ in range(total):
+            yield self.generate_round()
+
+    # ---------------------------------------------------------- client model
+
+    def _convergence_accuracy(self, round_id: int, client: ClientDevice, rng: np.random.Generator) -> float:
+        """A noisy logistic convergence curve modulated by data quality."""
+        progress = round_id / max(1.0, 0.3 * self.job_config.total_rounds)
+        base = 0.15 + 0.75 / (1.0 + np.exp(-3.0 * (progress - 1.0)))
+        quality_penalty = (1.0 - client.data_quality) * 0.25
+        noise = rng.normal(0.0, 0.02)
+        return float(np.clip(base - quality_penalty + noise, 0.01, 0.99))
+
+    def _client_round(self, client: ClientDevice, round_id: int) -> tuple[ModelUpdate, ClientRoundMetadata]:
+        rng = derive_rng(self.seed, "client-round", client.client_id, round_id)
+        dim = self.job_config.reduced_dim
+        center = self._cluster_centers[client.cluster_id]
+        progress = min(1.0, round_id / max(1, self.job_config.total_rounds))
+        if client.is_malicious:
+            # Adversarial update: large-norm, sign-flipped direction unrelated
+            # to the client's cluster, detectable by norm/cosine screening.
+            weights = rng.normal(0.0, 3.0, size=dim) - 2.0 * self.state.global_weights
+            local_accuracy = float(rng.uniform(0.05, 0.3))
+        else:
+            personal = rng.normal(0.0, 0.2, size=dim)
+            drift = (1.0 - progress) * 0.5
+            weights = (
+                self.state.global_weights
+                + drift * 0.3 * center
+                + 0.1 * personal
+                + rng.normal(0.0, 0.02, size=dim)
+            )
+            local_accuracy = self._convergence_accuracy(round_id, client, rng)
+
+        update = ModelUpdate(
+            client_id=client.client_id,
+            round_id=round_id,
+            model_name=self.model_spec.name,
+            weights=weights,
+            size_bytes=self.model_spec.size_bytes,
+            metrics={
+                "num_samples": float(client.num_samples),
+                "local_accuracy": local_accuracy,
+                "local_loss": float(max(0.01, 2.5 * (1.0 - local_accuracy) + rng.normal(0.0, 0.05))),
+            },
+        )
+
+        lr_decay = self.job_config.base_learning_rate * (0.99 ** (round_id // 10))
+        hyper = HyperParameters(
+            learning_rate=float(max(1e-5, lr_decay * rng.uniform(0.8, 1.2))),
+            local_epochs=self.job_config.local_epochs,
+            batch_size=int(rng.choice([16, 32, 64])),
+        )
+        train_seconds = float(
+            self.job_config.mean_local_training_seconds
+            * (2.0 / client.resources.cpu_ghz)
+            * rng.uniform(0.8, 1.3)
+        )
+        upload_seconds = float(
+            self.model_spec.size_bytes / (client.resources.bandwidth_mbps * 125_000.0)
+        )
+        meta = ClientRoundMetadata(
+            client_id=client.client_id,
+            round_id=round_id,
+            hyperparameters=hyper,
+            resources=client.resources,
+            local_accuracy=local_accuracy,
+            local_loss=float(update.metrics["local_loss"]),
+            train_seconds=train_seconds,
+            upload_seconds=upload_seconds,
+            num_samples=client.num_samples,
+            selected=True,
+            dropped_out=bool(rng.random() < 0.02),
+        )
+        return update, meta

@@ -1,0 +1,5 @@
+"""Adapters for plugging FLStore into existing FL frameworks (Appendix D)."""
+
+from repro.integrations.adapter import FrameworkAdapter, RoundEvent
+
+__all__ = ["FrameworkAdapter", "RoundEvent"]

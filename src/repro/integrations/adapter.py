@@ -1,0 +1,117 @@
+"""Framework integration adapter.
+
+The paper integrates FLStore with existing FL frameworks (Flower, IBMFL) by
+asynchronously relaying the client updates and metadata the aggregator
+receives into FLStore's cache, leaving training untouched (Appendix A,
+"Modular design", and Appendix D, "FLStore Integration").
+
+:class:`FrameworkAdapter` reproduces that integration surface without
+depending on any external framework: a host framework (here, our
+:class:`~repro.fl.trainer.FLJobSimulator`, or any code that can produce
+per-client update vectors) reports round events through a small callback API
+and the adapter converts them into :class:`~repro.fl.rounds.RoundRecord`
+objects and feeds FLStore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.core.flstore import FLStore
+from repro.fl.aggregation import fedavg
+from repro.fl.metadata import ClientRoundMetadata, HyperParameters, ResourceProfile
+from repro.fl.models import ModelUpdate, get_model_spec
+from repro.fl.rounds import RoundRecord
+
+
+@dataclass
+class RoundEvent:
+    """Everything a host framework reports about one finished round."""
+
+    round_id: int
+    #: ``client_id -> weight vector`` (any 1-D array-like).
+    client_weights: Mapping[int, np.ndarray]
+    #: Optional per-client training metrics (accuracy, loss, num_samples...).
+    client_metrics: Mapping[int, Mapping[str, float]] = field(default_factory=dict)
+    #: Optional pre-computed aggregate; FedAvg is applied when omitted.
+    aggregate_weights: np.ndarray | None = None
+
+
+class FrameworkAdapter:
+    """Relays a host FL framework's round events into an FLStore instance."""
+
+    def __init__(self, flstore: FLStore, model_name: str | None = None) -> None:
+        self.flstore = flstore
+        self.model_spec = get_model_spec(model_name or flstore.config.job.model_name)
+        self.rounds_relayed = 0
+
+    # ------------------------------------------------------------- callbacks
+
+    def on_round_complete(self, event: RoundEvent) -> RoundRecord:
+        """Convert ``event`` into a :class:`RoundRecord` and ingest it.
+
+        Returns the ingested record so callers can inspect what was stored.
+        """
+        if not event.client_weights:
+            raise ConfigurationError(f"round {event.round_id} reported no client updates")
+        updates = {
+            client_id: self._to_update(client_id, event, weights)
+            for client_id, weights in event.client_weights.items()
+        }
+        if event.aggregate_weights is not None:
+            reference = next(iter(updates.values()))
+            aggregate = ModelUpdate(
+                client_id=-1,
+                round_id=event.round_id,
+                model_name=self.model_spec.name,
+                weights=np.asarray(event.aggregate_weights, dtype=float),
+                size_bytes=reference.size_bytes,
+            )
+        else:
+            aggregate = fedavg(list(updates.values()), round_id=event.round_id)
+        metadata = {
+            client_id: self._to_metadata(client_id, event)
+            for client_id in event.client_weights
+        }
+        record = RoundRecord(
+            round_id=event.round_id, updates=updates, aggregate=aggregate, metadata=metadata
+        )
+        self.flstore.ingest_round(record)
+        self.rounds_relayed += 1
+        return record
+
+    # --------------------------------------------------------------- helpers
+
+    def _to_update(self, client_id: int, event: RoundEvent, weights: np.ndarray) -> ModelUpdate:
+        metrics = dict(event.client_metrics.get(client_id, {}))
+        metrics.setdefault("num_samples", 1.0)
+        return ModelUpdate(
+            client_id=client_id,
+            round_id=event.round_id,
+            model_name=self.model_spec.name,
+            weights=np.asarray(weights, dtype=float),
+            size_bytes=self.model_spec.size_bytes,
+            metrics=metrics,
+        )
+
+    def _to_metadata(self, client_id: int, event: RoundEvent) -> ClientRoundMetadata:
+        metrics = event.client_metrics.get(client_id, {})
+        return ClientRoundMetadata(
+            client_id=client_id,
+            round_id=event.round_id,
+            hyperparameters=HyperParameters(
+                learning_rate=float(metrics.get("learning_rate", 0.01)),
+                local_epochs=int(metrics.get("local_epochs", 5)),
+                batch_size=int(metrics.get("batch_size", 32)),
+            ),
+            resources=ResourceProfile(),
+            local_accuracy=float(np.clip(metrics.get("local_accuracy", 0.0), 0.0, 1.0)),
+            local_loss=float(metrics.get("local_loss", 1.0)),
+            train_seconds=float(metrics.get("train_seconds", 0.0)),
+            upload_seconds=float(metrics.get("upload_seconds", 0.0)),
+            num_samples=max(1, int(metrics.get("num_samples", 1))),
+        )

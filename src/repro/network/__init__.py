@@ -1,0 +1,6 @@
+"""Network latency and data-transfer cost models."""
+
+from repro.network.model import NetworkLink, NetworkTopology
+from repro.network.costs import TransferCostModel
+
+__all__ = ["NetworkLink", "NetworkTopology", "TransferCostModel"]

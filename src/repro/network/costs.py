@@ -1,0 +1,80 @@
+"""Data-transfer cost model.
+
+Cloud providers charge per GB moved out of storage services toward compute
+services and per API request.  The paper's cost figures (Figures 8-10, 16-17)
+are dominated by exactly these charges for the baselines, while FLStore's
+co-located execution avoids most of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import bytes_to_gb
+from repro.config import PricingConfig
+from repro.simulation.records import CostBreakdown
+
+
+@dataclass(frozen=True)
+class TransferCostModel:
+    """Computes dollar costs for data movement and storage API requests."""
+
+    pricing: PricingConfig
+
+    def objstore_get_cost(self, payload_bytes: float) -> CostBreakdown:
+        """Cost of one GET of ``payload_bytes`` from the object store."""
+        return CostBreakdown(
+            transfer_dollars=bytes_to_gb(payload_bytes) * self.pricing.objstore_transfer_cost_per_gb,
+            request_dollars=self.pricing.objstore_get_request_cost,
+        )
+
+    def objstore_put_cost(self, payload_bytes: float) -> CostBreakdown:
+        """Cost of one PUT of ``payload_bytes`` into the object store.
+
+        Ingress bandwidth is free on the major providers; only the request is
+        charged (long-term storage is charged separately per GB-month).
+        """
+        del payload_bytes  # ingress itself is free
+        return CostBreakdown(request_dollars=self.pricing.objstore_put_request_cost)
+
+    def objstore_storage_cost(self, stored_bytes: float, duration_hours: float) -> CostBreakdown:
+        """Cost of keeping ``stored_bytes`` in the object store for ``duration_hours``."""
+        gb_months = bytes_to_gb(stored_bytes) * (duration_hours / (30.0 * 24.0))
+        return CostBreakdown(
+            storage_dollars=gb_months * self.pricing.objstore_storage_cost_per_gb_month
+        )
+
+    def cache_transfer_cost(self, payload_bytes: float) -> CostBreakdown:
+        """Cost of moving ``payload_bytes`` between the cloud cache and a compute service."""
+        return CostBreakdown(
+            transfer_dollars=bytes_to_gb(payload_bytes) * self.pricing.cache_transfer_cost_per_gb
+        )
+
+    def cache_node_cost(self, node_count: int, duration_hours: float) -> CostBreakdown:
+        """Hourly cost of ``node_count`` provisioned cache nodes for ``duration_hours``."""
+        return CostBreakdown(
+            provisioned_dollars=node_count * duration_hours * self.pricing.cache_node_cost_per_hour
+        )
+
+    def aggregator_cost(self, duration_hours: float) -> CostBreakdown:
+        """Hourly cost of the dedicated aggregator instance for ``duration_hours``."""
+        return CostBreakdown(
+            provisioned_dollars=duration_hours * self.pricing.aggregator_cost_per_hour
+        )
+
+    def lambda_execution_cost(self, memory_gb: float, duration_seconds: float) -> CostBreakdown:
+        """Cost of one serverless execution of ``duration_seconds`` at ``memory_gb``."""
+        gb_seconds = memory_gb * duration_seconds
+        return CostBreakdown(
+            compute_dollars=gb_seconds * self.pricing.lambda_cost_per_gb_second,
+            request_dollars=self.pricing.lambda_cost_per_million_requests / 1_000_000.0,
+        )
+
+    def lambda_keepalive_cost(self, instance_count: int, duration_hours: float) -> CostBreakdown:
+        """Keep-alive ping cost for ``instance_count`` warm functions over ``duration_hours``."""
+        months = duration_hours / (30.0 * 24.0)
+        return CostBreakdown(
+            provisioned_dollars=instance_count
+            * months
+            * self.pricing.lambda_keepalive_cost_per_instance_month
+        )

@@ -1,0 +1,112 @@
+"""Analytic network model.
+
+Each path between two simulated services is a :class:`NetworkLink` with a
+round-trip time and an effective bandwidth; the transfer time of a payload is
+``rtt + size / bandwidth``.  :class:`NetworkTopology` names the links the
+FLStore architecture cares about (Figure 3 and Figure 5 of the paper):
+
+* aggregator <-> object store          (``objstore``)
+* aggregator <-> in-memory cloud cache (``cache``)
+* client daemon <-> any cloud service  (``client``)
+* serverless function <-> function / persistent store (``serverless``)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import MB
+from repro.config import NetworkConfig
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point path with latency and throughput."""
+
+    name: str
+    rtt_seconds: float
+    bandwidth_mb_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rtt_seconds < 0:
+            raise ConfigurationError(f"link {self.name}: rtt must be non-negative")
+        if self.bandwidth_mb_per_s <= 0:
+            raise ConfigurationError(f"link {self.name}: bandwidth must be positive")
+
+    def transfer_seconds(self, payload_bytes: float) -> float:
+        """Time to move ``payload_bytes`` across this link (one direction).
+
+        A zero-byte payload still pays one round trip (the request itself).
+        """
+        if payload_bytes < 0:
+            raise ValueError("payload size must be non-negative")
+        return self.rtt_seconds + payload_bytes / (self.bandwidth_mb_per_s * MB)
+
+    def round_trip_seconds(self, request_bytes: float, response_bytes: float) -> float:
+        """Time for a request/response exchange with payloads in both directions."""
+        serialization = (request_bytes + response_bytes) / (self.bandwidth_mb_per_s * MB)
+        return self.rtt_seconds + serialization
+
+
+class NetworkTopology:
+    """The set of named links used by the FLStore and baseline architectures."""
+
+    def __init__(self, config: NetworkConfig | None = None) -> None:
+        self.config = config or NetworkConfig()
+        self._links = {
+            "objstore": NetworkLink(
+                "objstore",
+                self.config.objstore_rtt_seconds,
+                self.config.objstore_bandwidth_mb_per_s,
+            ),
+            "cache": NetworkLink(
+                "cache",
+                self.config.cache_rtt_seconds,
+                self.config.cache_bandwidth_mb_per_s,
+            ),
+            "client": NetworkLink(
+                "client",
+                self.config.client_rtt_seconds,
+                self.config.objstore_bandwidth_mb_per_s,
+            ),
+            "serverless": NetworkLink(
+                "serverless",
+                self.config.serverless_rtt_seconds,
+                self.config.serverless_bandwidth_mb_per_s,
+            ),
+        }
+
+    def link(self, name: str) -> NetworkLink:
+        """Return the named link.
+
+        Raises
+        ------
+        KeyError
+            If ``name`` is not one of the configured links.
+        """
+        return self._links[name]
+
+    @property
+    def objstore(self) -> NetworkLink:
+        """Aggregator/function <-> object store path."""
+        return self._links["objstore"]
+
+    @property
+    def cache(self) -> NetworkLink:
+        """Aggregator <-> in-memory cloud cache path."""
+        return self._links["cache"]
+
+    @property
+    def client(self) -> NetworkLink:
+        """Client daemon <-> cloud path."""
+        return self._links["client"]
+
+    @property
+    def serverless(self) -> NetworkLink:
+        """Function <-> function / persistent-store path inside the region."""
+        return self._links["serverless"]
+
+    def link_names(self) -> list[str]:
+        """Names of every configured link."""
+        return sorted(self._links)

@@ -1,0 +1,13 @@
+"""Serverless platform emulator: functions, platform, fault injection."""
+
+from repro.serverless.function import FunctionState, ServerlessFunction
+from repro.serverless.platform import PlatformStats, ServerlessPlatform
+from repro.serverless.faults import ZipfianFaultInjector
+
+__all__ = [
+    "FunctionState",
+    "PlatformStats",
+    "ServerlessFunction",
+    "ServerlessPlatform",
+    "ZipfianFaultInjector",
+]

@@ -1,0 +1,82 @@
+"""Fault injection for serverless function reclamation.
+
+The paper's fault-tolerance evaluation (Appendix A.2) injects function
+reclamations following a Zipfian distribution, matching the measurement
+studies of AWS Lambda cited from InfiniCache.  The injector below decides,
+for each served request, which (if any) of the currently warm functions are
+reclaimed before the request executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+
+
+@dataclass
+class FaultEvent:
+    """One injected reclamation."""
+
+    request_index: int
+    function_id: str
+
+
+class ZipfianFaultInjector:
+    """Injects function reclamations with Zipf-distributed inter-arrival gaps.
+
+    Parameters
+    ----------
+    fault_rate:
+        Expected fraction of requests that experience at least one
+        reclamation (0 disables fault injection).
+    zipf_exponent:
+        Exponent ``a`` of the Zipf distribution used to pick how many
+        functions are reclaimed in a faulty step (heavier tail for smaller
+        ``a``); must be > 1.
+    seed:
+        Master seed; the injector derives an independent stream.
+    """
+
+    def __init__(self, fault_rate: float = 0.05, zipf_exponent: float = 2.5, seed: int = 7) -> None:
+        if not 0.0 <= fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if zipf_exponent <= 1.0:
+            raise ValueError("zipf_exponent must be > 1")
+        self.fault_rate = fault_rate
+        self.zipf_exponent = zipf_exponent
+        self._rng = derive_rng(seed, "fault-injector")
+        self.events: list[FaultEvent] = []
+        self._request_index = 0
+
+    def sample_reclamations(self, candidate_function_ids: list[str]) -> list[str]:
+        """Return the function ids reclaimed before the next request.
+
+        The number of reclaimed functions in a faulty step is Zipf-distributed
+        (capped at the number of candidates); which functions are reclaimed is
+        uniform over the candidates.
+        """
+        self._request_index += 1
+        if not candidate_function_ids or self.fault_rate == 0.0:
+            return []
+        if self._rng.random() >= self.fault_rate:
+            return []
+        count = int(self._rng.zipf(self.zipf_exponent))
+        count = min(count, len(candidate_function_ids))
+        chosen = self._rng.choice(candidate_function_ids, size=count, replace=False)
+        reclaimed = [str(function_id) for function_id in np.atleast_1d(chosen)]
+        for function_id in reclaimed:
+            self.events.append(FaultEvent(self._request_index, function_id))
+        return reclaimed
+
+    @property
+    def total_faults(self) -> int:
+        """Number of reclamations injected so far."""
+        return len(self.events)
+
+    def reset(self) -> None:
+        """Forget every injected event and restart the request counter."""
+        self.events.clear()
+        self._request_index = 0

@@ -1,0 +1,189 @@
+"""A single emulated serverless function with resident memory.
+
+A function models an AWS Lambda / OpenFaaS worker that stays *warm* as long
+as it is periodically invoked (or pinged).  Its memory holds cached FL
+metadata objects at client-model granularity (Section 4.2 of the paper), and
+its co-located CPU executes non-training workloads against those objects.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from repro.cloud.payload import payload_size_bytes
+from repro.common.errors import CapacityError, DataNotFoundError, FunctionReclaimedError
+from repro.common.units import GB
+
+
+class FunctionState(enum.Enum):
+    """Lifecycle state of a serverless function."""
+
+    WARM = "warm"
+    RECLAIMED = "reclaimed"
+
+
+@dataclass
+class _ResidentObject:
+    value: Any
+    size_bytes: int
+    stored_at: float
+
+
+@dataclass
+class FunctionStats:
+    """Cumulative counters of one function instance."""
+
+    invocations: int = 0
+    executions: int = 0
+    busy_seconds: float = 0.0
+    objects_stored: int = 0
+    objects_evicted: int = 0
+
+
+class ServerlessFunction:
+    """One warm serverless function holding cached objects and running workloads.
+
+    Parameters
+    ----------
+    function_id:
+        Unique identifier assigned by the platform.
+    memory_limit_bytes:
+        Provisioned memory (at most 10 GB on AWS Lambda).
+    cpu_cores:
+        Number of vCPUs; only recorded for reporting, the compute-time model
+        already accounts for function-class speed.
+    """
+
+    def __init__(
+        self,
+        function_id: str,
+        memory_limit_bytes: int = 4 * GB,
+        cpu_cores: int = 2,
+    ) -> None:
+        if memory_limit_bytes <= 0:
+            raise ValueError("memory_limit_bytes must be positive")
+        self.function_id = function_id
+        self.memory_limit_bytes = int(memory_limit_bytes)
+        self.cpu_cores = cpu_cores
+        self.state = FunctionState.WARM
+        self.last_invoked_at: float = 0.0
+        self.stats = FunctionStats()
+        self._objects: dict[Hashable, _ResidentObject] = {}
+
+    # ------------------------------------------------------------ memory API
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of provisioned memory currently occupied by cached objects."""
+        return sum(obj.size_bytes for obj in self._objects.values())
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining capacity in bytes."""
+        return self.memory_limit_bytes - self.used_bytes
+
+    @property
+    def is_warm(self) -> bool:
+        """Whether the function is still resident (not reclaimed)."""
+        return self.state is FunctionState.WARM
+
+    def can_fit(self, size_bytes: int) -> bool:
+        """Whether an object of ``size_bytes`` fits in the remaining capacity."""
+        return size_bytes <= self.free_bytes
+
+    def store(self, key: Hashable, value: Any, now: float = 0.0, size_bytes: int | None = None) -> int:
+        """Place ``value`` in this function's memory under ``key``.
+
+        Returns the stored size in bytes.
+
+        Raises
+        ------
+        FunctionReclaimedError
+            If the function has been reclaimed.
+        CapacityError
+            If the object does not fit in the remaining memory.
+        """
+        self._ensure_warm()
+        size = int(size_bytes) if size_bytes is not None else payload_size_bytes(value)
+        existing = self._objects.get(key)
+        available = self.free_bytes + (existing.size_bytes if existing else 0)
+        if size > available:
+            raise CapacityError(
+                f"object of {size} bytes does not fit in function {self.function_id} "
+                f"({available} bytes available)"
+            )
+        self._objects[key] = _ResidentObject(value=value, size_bytes=size, stored_at=now)
+        self.stats.objects_stored += 1
+        return size
+
+    def load(self, key: Hashable) -> Any:
+        """Return the object stored under ``key`` (no latency: data is local).
+
+        Raises
+        ------
+        DataNotFoundError
+            If ``key`` is not resident in this function.
+        """
+        self._ensure_warm()
+        record = self._objects.get(key)
+        if record is None:
+            raise DataNotFoundError(key, f"function {self.function_id}")
+        return record.value
+
+    def evict(self, key: Hashable) -> bool:
+        """Drop ``key`` from memory; returns whether it was present."""
+        if key in self._objects:
+            del self._objects[key]
+            self.stats.objects_evicted += 1
+            return True
+        return False
+
+    def holds(self, key: Hashable) -> bool:
+        """Whether ``key`` is resident in this function."""
+        return self.is_warm and key in self._objects
+
+    def resident_keys(self) -> Iterator[Hashable]:
+        """Iterate over every resident key."""
+        return iter(list(self._objects.keys()))
+
+    def size_of(self, key: Hashable) -> int:
+        """Logical size of the resident object under ``key``."""
+        record = self._objects.get(key)
+        if record is None:
+            raise DataNotFoundError(key, f"function {self.function_id}")
+        return record.size_bytes
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    # --------------------------------------------------------- execution API
+
+    def record_invocation(self, now: float, busy_seconds: float = 0.0) -> None:
+        """Account for one invocation at time ``now`` taking ``busy_seconds``."""
+        self._ensure_warm()
+        self.stats.invocations += 1
+        if busy_seconds > 0:
+            self.stats.executions += 1
+            self.stats.busy_seconds += busy_seconds
+        self.last_invoked_at = now
+
+    def reclaim(self) -> None:
+        """Simulate the provider reclaiming the function: all memory is lost."""
+        self.state = FunctionState.RECLAIMED
+        self._objects.clear()
+
+    def restore(self) -> None:
+        """Re-provision the function after reclamation (memory starts empty)."""
+        self.state = FunctionState.WARM
+
+    def _ensure_warm(self) -> None:
+        if not self.is_warm:
+            raise FunctionReclaimedError(self.function_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServerlessFunction(id={self.function_id!r}, state={self.state.value}, "
+            f"used={self.used_bytes}/{self.memory_limit_bytes} bytes, objects={len(self)})"
+        )

@@ -1,0 +1,220 @@
+"""The serverless platform: spawning, invoking, and billing function instances.
+
+The platform emulates the provider-side behaviour FLStore relies on
+(Section 4.5 of the paper):
+
+* functions stay warm (and keep their memory) as long as they are invoked or
+  pinged at least once per keep-alive interval,
+* spawning a new function pays a cold-start latency,
+* executions are billed per GB-second plus a per-request charge,
+* keep-alive pings have a tiny but non-zero monthly cost per instance,
+* the provider may reclaim warm functions at any time (fault injection is
+  handled by :class:`repro.serverless.faults.ZipfianFaultInjector`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.common.errors import DataNotFoundError, FunctionReclaimedError
+from repro.common.ids import IdGenerator
+from repro.common.units import GB
+from repro.config import PricingConfig, ServerlessConfig
+from repro.network.costs import TransferCostModel
+from repro.serverless.function import ServerlessFunction
+from repro.simulation.clock import SimClock
+from repro.simulation.records import CostBreakdown, LatencyBreakdown, OperationResult
+
+
+@dataclass
+class PlatformStats:
+    """Cumulative accounting of the serverless platform."""
+
+    functions_spawned: int = 0
+    functions_reclaimed: int = 0
+    invocations: int = 0
+    cold_starts: int = 0
+    billed_gb_seconds: float = 0.0
+    total_execution_cost: float = 0.0
+
+
+class ServerlessPlatform:
+    """Manages a fleet of warm serverless functions.
+
+    Parameters
+    ----------
+    config:
+        Platform parameters (memory limits, cold-start latency, keep-alive
+        interval, replication defaults).
+    pricing:
+        Cloud pricing used for execution and keep-alive billing.
+    clock:
+        Shared virtual clock; used to time-stamp invocations and compute
+        keep-alive costs.
+    """
+
+    def __init__(
+        self,
+        config: ServerlessConfig | None = None,
+        pricing: PricingConfig | None = None,
+        clock: SimClock | None = None,
+    ) -> None:
+        self.config = config or ServerlessConfig()
+        self.pricing = pricing or PricingConfig()
+        self.clock = clock or SimClock()
+        self.cost_model = TransferCostModel(self.pricing)
+        self.stats = PlatformStats()
+        self._functions: dict[str, ServerlessFunction] = {}
+        self._ids = IdGenerator(prefix="fn")
+
+    # ----------------------------------------------------------- lifecycle
+
+    def spawn_function(
+        self,
+        memory_bytes: int | None = None,
+        cpu_cores: int = 2,
+    ) -> tuple[ServerlessFunction, OperationResult]:
+        """Provision a new warm function.
+
+        Returns the function and an :class:`OperationResult` carrying the
+        cold-start latency (there is no direct dollar charge for spawning).
+        """
+        memory = int(memory_bytes or self.config.default_function_memory_bytes)
+        if memory > self.config.max_function_memory_bytes:
+            raise ValueError(
+                f"requested {memory} bytes exceeds the platform maximum of "
+                f"{self.config.max_function_memory_bytes} bytes"
+            )
+        if len(self._functions) >= self.config.max_warm_functions:
+            raise RuntimeError(
+                f"platform already has {len(self._functions)} warm functions "
+                f"(max_warm_functions={self.config.max_warm_functions})"
+            )
+        function = ServerlessFunction(self._ids.next(), memory_limit_bytes=memory, cpu_cores=cpu_cores)
+        self._functions[function.function_id] = function
+        self.stats.functions_spawned += 1
+        self.stats.cold_starts += 1
+        latency = LatencyBreakdown(cold_start_seconds=self.config.cold_start_seconds)
+        return function, OperationResult(value=function.function_id, latency=latency)
+
+    def reclaim_function(self, function_id: str) -> None:
+        """Simulate the provider reclaiming a warm function (memory lost)."""
+        function = self._functions.get(function_id)
+        if function is None:
+            raise DataNotFoundError(function_id, "serverless platform")
+        if function.is_warm:
+            function.reclaim()
+            self.stats.functions_reclaimed += 1
+
+    def restore_function(self, function_id: str) -> tuple[ServerlessFunction, OperationResult]:
+        """Re-provision a previously reclaimed function (cold start, empty memory)."""
+        function = self._functions.get(function_id)
+        if function is None:
+            raise DataNotFoundError(function_id, "serverless platform")
+        function.restore()
+        self.stats.cold_starts += 1
+        latency = LatencyBreakdown(cold_start_seconds=self.config.cold_start_seconds)
+        return function, OperationResult(value=function_id, latency=latency)
+
+    def remove_function(self, function_id: str) -> None:
+        """Permanently remove a function from the fleet."""
+        self._functions.pop(function_id, None)
+
+    # ------------------------------------------------------------- lookup
+
+    def get_function(self, function_id: str) -> ServerlessFunction:
+        """Return the function with ``function_id`` (warm or reclaimed)."""
+        function = self._functions.get(function_id)
+        if function is None:
+            raise DataNotFoundError(function_id, "serverless platform")
+        return function
+
+    def has_function(self, function_id: str) -> bool:
+        """Whether ``function_id`` exists on the platform."""
+        return function_id in self._functions
+
+    def functions(self) -> Iterator[ServerlessFunction]:
+        """Iterate over every function (warm and reclaimed)."""
+        return iter(list(self._functions.values()))
+
+    def warm_functions(self) -> list[ServerlessFunction]:
+        """Every function currently warm."""
+        return [f for f in self._functions.values() if f.is_warm]
+
+    @property
+    def warm_count(self) -> int:
+        """Number of warm functions."""
+        return len(self.warm_functions())
+
+    @property
+    def total_cached_bytes(self) -> int:
+        """Bytes of FL metadata resident across all warm functions."""
+        return sum(f.used_bytes for f in self.warm_functions())
+
+    # ---------------------------------------------------------- execution
+
+    def invoke(
+        self,
+        function_id: str,
+        busy_seconds: float,
+        payload_bytes: int = 0,
+    ) -> OperationResult:
+        """Invoke ``function_id`` for ``busy_seconds`` of compute.
+
+        Returns the invocation latency (overhead + compute) and the billed
+        cost (GB-seconds + per-request charge).  ``payload_bytes`` covers any
+        request/response payload, billed at zero network cost because the
+        caller (the request tracker) exchanges only small control messages.
+
+        Raises
+        ------
+        FunctionReclaimedError
+            If the function has been reclaimed; callers are expected to fail
+            over to a replica or re-fetch from the persistent store.
+        """
+        function = self.get_function(function_id)
+        if not function.is_warm:
+            raise FunctionReclaimedError(function_id)
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        function.record_invocation(self.clock.now(), busy_seconds)
+        self.stats.invocations += 1
+        memory_gb = function.memory_limit_bytes / GB
+        billed_seconds = max(busy_seconds, 0.001)  # providers bill a minimum duration
+        self.stats.billed_gb_seconds += memory_gb * billed_seconds
+        cost = self.cost_model.lambda_execution_cost(memory_gb, billed_seconds)
+        self.stats.total_execution_cost += cost.total_dollars
+        latency = LatencyBreakdown(
+            computation_seconds=busy_seconds,
+            communication_seconds=self.config.invocation_overhead_seconds,
+        )
+        del payload_bytes  # control messages are negligible; kept for interface clarity
+        return OperationResult(value=None, latency=latency, cost=cost)
+
+    def ping(self, function_id: str) -> OperationResult:
+        """Keep-alive ping: keeps the function warm, negligible latency/cost per call."""
+        function = self.get_function(function_id)
+        if not function.is_warm:
+            raise FunctionReclaimedError(function_id)
+        function.record_invocation(self.clock.now(), busy_seconds=0.0)
+        return OperationResult(value=None)
+
+    # ------------------------------------------------------------- billing
+
+    def keepalive_cost(self, duration_hours: float, instance_count: int | None = None) -> CostBreakdown:
+        """Cost of keep-alive pings for ``instance_count`` functions over ``duration_hours``.
+
+        Defaults to the current number of warm functions.
+        """
+        count = self.warm_count if instance_count is None else instance_count
+        return self.cost_model.lambda_keepalive_cost(count, duration_hours)
+
+    def memory_cost(self, duration_hours: float) -> CostBreakdown:
+        """Cost of the memory held by warm functions for ``duration_hours``.
+
+        Warm function memory is free on the provider side as long as the
+        functions are regularly invoked (Section 4.5); only the keep-alive
+        pings are billed, so this returns the keep-alive cost.
+        """
+        return self.keepalive_cost(duration_hours)

@@ -1,0 +1,15 @@
+"""Simulation primitives: virtual clock, latency/cost records, metrics collection."""
+
+from repro.simulation.clock import SimClock
+from repro.simulation.metrics import MetricsCollector, RequestRecord, summarize_records
+from repro.simulation.records import CostBreakdown, LatencyBreakdown, OperationResult
+
+__all__ = [
+    "CostBreakdown",
+    "LatencyBreakdown",
+    "MetricsCollector",
+    "OperationResult",
+    "RequestRecord",
+    "SimClock",
+    "summarize_records",
+]

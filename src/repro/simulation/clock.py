@@ -1,0 +1,57 @@
+"""A virtual clock for the storage/compute simulation.
+
+The simulator does not run a full discrete-event engine; storage and compute
+operations return analytic latency values.  The clock exists so that
+components which accrue *time-based* costs (always-on instances, provisioned
+cache nodes, keep-alive pings) and policies that reason about request
+ordering have a shared notion of "now".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimClock:
+    """Monotonic virtual clock measured in seconds.
+
+    Examples
+    --------
+    >>> clock = SimClock()
+    >>> clock.now()
+    0.0
+    >>> clock.advance(2.5)
+    2.5
+    >>> clock.now()
+    2.5
+    """
+
+    _now: float = 0.0
+    _epoch: float = field(default=0.0, repr=False)
+
+    def now(self) -> float:
+        """Return the current virtual time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by a negative amount ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Advance the clock to ``timestamp`` if it is in the future."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now
+
+    def elapsed(self) -> float:
+        """Seconds elapsed since the clock was created (or last reset)."""
+        return self._now - self._epoch
+
+    def reset(self) -> None:
+        """Reset the clock to zero."""
+        self._now = 0.0
+        self._epoch = 0.0

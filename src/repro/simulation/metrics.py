@@ -1,0 +1,159 @@
+"""Per-request metric collection and aggregation.
+
+The experiment harness runs identical non-training request traces through
+FLStore and the baselines and records one :class:`RequestRecord` per served
+request.  :class:`MetricsCollector` aggregates them into the statistics that
+appear in the paper's figures: per-request latency/cost distributions, total
+time and cost over a trace, communication/computation breakups, and hit
+rates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Outcome of one non-training request served by some system."""
+
+    request_id: str
+    system: str
+    workload: str
+    model_name: str
+    round_id: int
+    latency: LatencyBreakdown
+    cost: CostBreakdown
+    cache_hits: int = 0
+    cache_misses: int = 0
+    client_id: int | None = None
+    extra: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of required objects served from the cache (1.0 if nothing was required)."""
+        total = self.cache_hits + self.cache_misses
+        if total == 0:
+            return 1.0
+        return self.cache_hits / total
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Aggregate statistics over a set of request records."""
+
+    count: int
+    mean_latency_seconds: float
+    median_latency_seconds: float
+    p95_latency_seconds: float
+    max_latency_seconds: float
+    mean_cost_dollars: float
+    total_latency_seconds: float
+    total_cost_dollars: float
+    total_communication_seconds: float
+    total_computation_seconds: float
+    total_communication_dollars: float
+    total_compute_dollars: float
+    hit_rate: float
+
+    @property
+    def communication_fraction(self) -> float:
+        """Fraction of total latency spent in communication."""
+        if self.total_latency_seconds == 0:
+            return 0.0
+        return self.total_communication_seconds / self.total_latency_seconds
+
+
+def summarize_records(records: Sequence[RequestRecord]) -> MetricSummary:
+    """Compute a :class:`MetricSummary` for ``records``.
+
+    Raises
+    ------
+    ValueError
+        If ``records`` is empty.
+    """
+    if not records:
+        raise ValueError("cannot summarize an empty record sequence")
+    latencies = np.array([r.latency.total_seconds for r in records], dtype=float)
+    costs = np.array([r.cost.total_dollars for r in records], dtype=float)
+    comm_lat = float(sum(r.latency.communication_seconds for r in records))
+    comp_lat = float(sum(r.latency.computation_seconds for r in records))
+    comm_cost = float(sum(r.cost.communication_dollars for r in records))
+    compute_cost = float(sum(r.cost.compute_dollars for r in records))
+    hits = sum(r.cache_hits for r in records)
+    misses = sum(r.cache_misses for r in records)
+    hit_rate = hits / (hits + misses) if (hits + misses) > 0 else 1.0
+    return MetricSummary(
+        count=len(records),
+        mean_latency_seconds=float(latencies.mean()),
+        median_latency_seconds=float(np.median(latencies)),
+        p95_latency_seconds=float(np.percentile(latencies, 95)),
+        max_latency_seconds=float(latencies.max()),
+        mean_cost_dollars=float(costs.mean()),
+        total_latency_seconds=float(latencies.sum()),
+        total_cost_dollars=float(costs.sum()),
+        total_communication_seconds=comm_lat,
+        total_computation_seconds=comp_lat,
+        total_communication_dollars=comm_cost,
+        total_compute_dollars=compute_cost,
+        hit_rate=hit_rate,
+    )
+
+
+class MetricsCollector:
+    """Accumulates request records and produces grouped summaries."""
+
+    def __init__(self) -> None:
+        self._records: list[RequestRecord] = []
+
+    def record(self, record: RequestRecord) -> None:
+        """Append one request record."""
+        self._records.append(record)
+
+    def extend(self, records: Iterable[RequestRecord]) -> None:
+        """Append many request records."""
+        self._records.extend(records)
+
+    @property
+    def records(self) -> list[RequestRecord]:
+        """All records collected so far (in insertion order)."""
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def clear(self) -> None:
+        """Drop every collected record."""
+        self._records.clear()
+
+    def summary(self) -> MetricSummary:
+        """Summary over every collected record."""
+        return summarize_records(self._records)
+
+    def by_workload(self) -> dict[str, MetricSummary]:
+        """Summaries grouped by workload name."""
+        return self._grouped(lambda r: r.workload)
+
+    def by_system(self) -> dict[str, MetricSummary]:
+        """Summaries grouped by serving system (e.g. ``flstore``, ``objstore-agg``)."""
+        return self._grouped(lambda r: r.system)
+
+    def by_model(self) -> dict[str, MetricSummary]:
+        """Summaries grouped by model name."""
+        return self._grouped(lambda r: r.model_name)
+
+    def by_system_and_workload(self) -> dict[tuple[str, str], MetricSummary]:
+        """Summaries grouped by (system, workload)."""
+        return self._grouped(lambda r: (r.system, r.workload))
+
+    def _grouped(self, key) -> dict:
+        groups: dict = defaultdict(list)
+        for record in self._records:
+            groups[key(record)].append(record)
+        return {k: summarize_records(v) for k, v in groups.items()}

@@ -1,0 +1,5 @@
+"""Non-training request trace generation."""
+
+from repro.traces.generator import RequestTraceGenerator
+
+__all__ = ["RequestTraceGenerator"]

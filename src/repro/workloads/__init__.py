@@ -1,0 +1,21 @@
+"""The non-training FL workloads evaluated in the paper."""
+
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+from repro.workloads.registry import (
+    TAXONOMY,
+    WORKLOAD_DISPLAY_NAMES,
+    get_workload,
+    list_workloads,
+    policy_for_workload,
+)
+
+__all__ = [
+    "PolicyClass",
+    "TAXONOMY",
+    "WORKLOAD_DISPLAY_NAMES",
+    "Workload",
+    "WorkloadRequest",
+    "get_workload",
+    "list_workloads",
+    "policy_for_workload",
+]

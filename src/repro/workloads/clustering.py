@@ -1,0 +1,78 @@
+"""Client clustering over a round's updates (policy P2).
+
+Groups the clients of a round by the direction of their model updates using
+k-means on the reduced weight vectors (the clustered-FL approach of Ghosh et
+al. and Auxo).  Clustering is the heaviest non-training computation in the
+paper's Figure 12 (~6 s for EfficientNet-sized updates).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.common.rng import derive_rng
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+
+
+def kmeans(matrix: np.ndarray, k: int, seed: int = 0, max_iterations: int = 50) -> tuple[np.ndarray, np.ndarray]:
+    """Plain k-means (Lloyd's algorithm) on the rows of ``matrix``.
+
+    Returns ``(labels, centers)``.  Implemented here (rather than depending on
+    scikit-learn) because the simulator only needs a small, deterministic
+    clustering primitive.
+    """
+    n = matrix.shape[0]
+    k = max(1, min(k, n))
+    rng = derive_rng(seed, "kmeans-init")
+    centers = matrix[rng.choice(n, size=k, replace=False)]
+    labels = np.zeros(n, dtype=int)
+    for _ in range(max_iterations):
+        distances = np.linalg.norm(matrix[:, None, :] - centers[None, :, :], axis=2)
+        new_labels = distances.argmin(axis=1)
+        if np.array_equal(new_labels, labels) and _ > 0:
+            break
+        labels = new_labels
+        for cluster in range(k):
+            members = matrix[labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+    return labels, centers
+
+
+class ClusteringWorkload(Workload):
+    """Cluster a round's client updates into ``k`` groups."""
+
+    name = "clustering"
+    display_name = "Clustering"
+    policy_class = PolicyClass.P2_ROUND
+    base_compute_seconds = 1.0
+    per_item_compute_seconds = 0.5
+
+    def required_keys(self, request: WorkloadRequest, catalog: RoundCatalog) -> list[DataKey]:
+        """Every client update of the requested round."""
+        return [DataKey.update(cid, request.round_id) for cid in catalog.participants(request.round_id)]
+
+    def compute(self, request: WorkloadRequest, data: Mapping[DataKey, Any]) -> dict[str, Any]:
+        keys = sorted(k for k in data if k.is_update and k.round_id == request.round_id)
+        updates = self.updates_from(data, keys)
+        if not updates:
+            return {"round_id": request.round_id, "assignments": {}, "num_clusters": 0}
+        k = int(request.params.get("num_clusters", 3))
+        matrix = np.stack([u.weights for u in updates])
+        labels, centers = kmeans(matrix, k, seed=request.round_id)
+        assignments = {u.client_id: int(labels[i]) for i, u in enumerate(updates)}
+        sizes = np.bincount(labels, minlength=centers.shape[0]).tolist()
+        inertia = float(
+            sum(np.linalg.norm(matrix[i] - centers[labels[i]]) ** 2 for i in range(len(updates)))
+        )
+        return {
+            "round_id": request.round_id,
+            "assignments": assignments,
+            "num_clusters": int(centers.shape[0]),
+            "cluster_sizes": sizes,
+            "inertia": inertia,
+        }

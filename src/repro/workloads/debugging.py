@@ -1,0 +1,82 @@
+"""FL debugging / provenance tracking (policy P3).
+
+Follows a single client's model updates across consecutive rounds — the
+FedDebug-style rewind/inspect workflow and the provenance/lineage use cases
+of Table 1.  Each request examines the requested round plus a window of
+preceding rounds for the same client and reports update drift, norm growth,
+and differential behaviour against the corresponding aggregates, flagging
+rounds where the client behaved anomalously.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+
+
+class DebuggingWorkload(Workload):
+    """Trace one client's behaviour across a window of rounds."""
+
+    name = "debugging"
+    display_name = "Debugging"
+    policy_class = PolicyClass.P3_ACROSS_ROUNDS
+    base_compute_seconds = 1.0
+    per_item_compute_seconds = 0.4
+
+    #: Relative norm growth between consecutive rounds considered anomalous.
+    norm_growth_threshold: float = 3.0
+
+    def required_keys(self, request: WorkloadRequest, catalog: RoundCatalog) -> list[DataKey]:
+        """The target client's updates for the requested round and its history window."""
+        client_id = request.client_id
+        if client_id is None:
+            # Fall back to the first participant of the round so a malformed
+            # request still resolves to a concrete data need.
+            participants = catalog.participants(request.round_id)
+            client_id = participants[0] if participants else 0
+        rounds = catalog.rounds_for_client(client_id, up_to=request.round_id)
+        window = rounds[-request.history_rounds:] if rounds else [request.round_id]
+        keys = [DataKey.update(client_id, r) for r in window]
+        keys.extend(DataKey.aggregate(r) for r in window)
+        return keys
+
+    def compute(self, request: WorkloadRequest, data: Mapping[DataKey, Any]) -> dict[str, Any]:
+        update_keys = sorted(k for k in data if k.is_update)
+        updates = self.updates_from(data, update_keys)
+        if not updates:
+            return {"client_id": request.client_id, "rounds": [], "anomalous_rounds": []}
+        client_id = updates[0].client_id
+        rounds = [u.round_id for u in updates]
+        norms = [u.l2_norm() for u in updates]
+        drifts = [0.0]
+        for previous, current in zip(updates, updates[1:]):
+            drifts.append(previous.distance_to(current))
+
+        divergence: dict[int, float] = {}
+        for update in updates:
+            aggregate_key = DataKey.aggregate(update.round_id)
+            if aggregate_key in data:
+                divergence[update.round_id] = float(update.distance_to(data[aggregate_key]))
+
+        anomalous = []
+        for i in range(1, len(norms)):
+            if norms[i - 1] > 0 and norms[i] / norms[i - 1] > self.norm_growth_threshold:
+                anomalous.append(rounds[i])
+        if divergence:
+            values = np.array(list(divergence.values()))
+            threshold = values.mean() + 2.0 * (values.std() or 1e-9)
+            anomalous.extend(r for r, d in divergence.items() if d > threshold)
+
+        return {
+            "client_id": client_id,
+            "rounds": rounds,
+            "update_norms": norms,
+            "round_to_round_drift": drifts,
+            "divergence_from_aggregate": divergence,
+            "anomalous_rounds": sorted(set(anomalous)),
+        }

@@ -1,0 +1,73 @@
+"""Malicious-client filtering (policy P2).
+
+Screens every client update of a round for adversarial behaviour using two
+complementary signals: the update's distance from the round's robust centre
+(coordinate-wise median) and its cosine alignment with that centre.  Updates
+that are both far and misaligned are flagged, mirroring the per-round
+filtering systems cited by the paper (TIFF and similar).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+
+
+class MaliciousFilteringWorkload(Workload):
+    """Flag adversarial updates in a round via robust-distance and alignment tests."""
+
+    name = "malicious_filtering"
+    display_name = "Malicious Filtering"
+    policy_class = PolicyClass.P2_ROUND
+    base_compute_seconds = 0.3
+    per_item_compute_seconds = 0.075
+
+    #: Robust z-score beyond which a distance is considered anomalous.
+    distance_threshold: float = 2.5
+    #: Cosine alignment below which an update is considered misaligned.
+    alignment_threshold: float = 0.0
+
+    def required_keys(self, request: WorkloadRequest, catalog: RoundCatalog) -> list[DataKey]:
+        """Every client update of the requested round."""
+        return [DataKey.update(cid, request.round_id) for cid in catalog.participants(request.round_id)]
+
+    def compute(self, request: WorkloadRequest, data: Mapping[DataKey, Any]) -> dict[str, Any]:
+        keys = sorted(k for k in data if k.is_update and k.round_id == request.round_id)
+        updates = self.updates_from(data, keys)
+        if len(updates) < 2:
+            return {"round_id": request.round_id, "flagged_clients": [], "scores": {}}
+        matrix = np.stack([u.weights for u in updates])
+        center = np.median(matrix, axis=0)
+        distances = np.linalg.norm(matrix - center, axis=1)
+        med = np.median(distances)
+        mad = np.median(np.abs(distances - med)) or 1e-9
+        robust_z = (distances - med) / (1.4826 * mad)
+
+        center_norm = np.linalg.norm(center) or 1e-9
+        row_norms = np.linalg.norm(matrix, axis=1)
+        row_norms = np.where(row_norms == 0, 1e-9, row_norms)
+        alignments = (matrix @ center) / (row_norms * center_norm)
+
+        flagged = [
+            updates[i].client_id
+            for i in range(len(updates))
+            if robust_z[i] > self.distance_threshold and alignments[i] < self.alignment_threshold
+        ]
+        scores = {
+            updates[i].client_id: {
+                "robust_z": float(robust_z[i]),
+                "alignment": float(alignments[i]),
+            }
+            for i in range(len(updates))
+        }
+        return {
+            "round_id": request.round_id,
+            "flagged_clients": sorted(flagged),
+            "scores": scores,
+            "num_examined": len(updates),
+        }

@@ -1,0 +1,60 @@
+"""Personalized FL model construction (policy P2).
+
+Builds per-group personalized models by grouping a round's clients by update
+similarity and blending each group's mean update with the global aggregate
+(the clustered-personalization family of approaches cited in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+from repro.workloads.clustering import kmeans
+
+
+class PersonalizationWorkload(Workload):
+    """Produce per-cluster personalized models from a round's updates."""
+
+    name = "personalization"
+    display_name = "Personalized"
+    policy_class = PolicyClass.P2_ROUND
+    base_compute_seconds = 0.8
+    per_item_compute_seconds = 0.25
+
+    def required_keys(self, request: WorkloadRequest, catalog: RoundCatalog) -> list[DataKey]:
+        """Every client update of the requested round plus its aggregate."""
+        keys = [DataKey.update(cid, request.round_id) for cid in catalog.participants(request.round_id)]
+        keys.append(DataKey.aggregate(request.round_id))
+        return keys
+
+    def compute(self, request: WorkloadRequest, data: Mapping[DataKey, Any]) -> dict[str, Any]:
+        update_keys = sorted(k for k in data if k.is_update and k.round_id == request.round_id)
+        updates = self.updates_from(data, update_keys)
+        aggregate_key = DataKey.aggregate(request.round_id)
+        if not updates or aggregate_key not in data:
+            return {"round_id": request.round_id, "groups": {}, "personalized_models": 0}
+        aggregate = data[aggregate_key]
+        mix = float(request.params.get("personalization_mix", 0.5))
+        k = int(request.params.get("num_groups", 3))
+        matrix = np.stack([u.weights for u in updates])
+        labels, _ = kmeans(matrix, k, seed=request.round_id + 1)
+        groups: dict[int, list[int]] = {}
+        personalized_norms: dict[int, float] = {}
+        for cluster in sorted(set(labels.tolist())):
+            members = [updates[i] for i in range(len(updates)) if labels[i] == cluster]
+            groups[cluster] = sorted(u.client_id for u in members)
+            group_mean = np.stack([u.weights for u in members]).mean(axis=0)
+            personalized = mix * group_mean + (1.0 - mix) * aggregate.weights
+            personalized_norms[cluster] = float(np.linalg.norm(personalized))
+        return {
+            "round_id": request.round_id,
+            "groups": groups,
+            "personalized_models": len(groups),
+            "personalized_model_norms": personalized_norms,
+            "mix": mix,
+        }

@@ -1,0 +1,72 @@
+"""Client reputation / contribution calculation (policy P2).
+
+Approximates per-client contribution to the round's aggregate with a
+leave-one-out marginal-contribution score — a cheap proxy for the Shapley
+value contribution measures cited in Table 1 (ShapleyFL and similar) — and
+combines it with the client's reported local accuracy into a reputation
+score in [0, 1].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.fl.catalog import RoundCatalog
+from repro.fl.keys import DataKey
+from repro.workloads.base import PolicyClass, Workload, WorkloadRequest
+
+
+class ReputationWorkload(Workload):
+    """Compute leave-one-out contribution and reputation scores for a round."""
+
+    name = "reputation"
+    display_name = "Reputation calc."
+    policy_class = PolicyClass.P2_ROUND
+    base_compute_seconds = 0.5
+    per_item_compute_seconds = 0.2
+
+    def required_keys(self, request: WorkloadRequest, catalog: RoundCatalog) -> list[DataKey]:
+        """Every client update of the requested round."""
+        return [DataKey.update(cid, request.round_id) for cid in catalog.participants(request.round_id)]
+
+    def compute(self, request: WorkloadRequest, data: Mapping[DataKey, Any]) -> dict[str, Any]:
+        keys = sorted(k for k in data if k.is_update and k.round_id == request.round_id)
+        updates = self.updates_from(data, keys)
+        if len(updates) < 2:
+            return {"round_id": request.round_id, "reputations": {}, "contributions": {}}
+        matrix = np.stack([u.weights for u in updates])
+        weights = np.array([float(u.metrics.get("num_samples", 1.0)) for u in updates])
+        weights = weights / weights.sum()
+        full_aggregate = weights @ matrix
+
+        contributions: dict[int, float] = {}
+        for i, update in enumerate(updates):
+            mask = np.ones(len(updates), dtype=bool)
+            mask[i] = False
+            reduced_weights = weights[mask] / weights[mask].sum()
+            without_i = reduced_weights @ matrix[mask]
+            # Marginal contribution: how much the aggregate moves when the
+            # client is removed (larger movement toward degradation = more
+            # valuable client, negative alignment = harmful client).
+            shift = full_aggregate - without_i
+            alignment = float(
+                np.dot(shift, full_aggregate)
+                / ((np.linalg.norm(shift) or 1e-9) * (np.linalg.norm(full_aggregate) or 1e-9))
+            )
+            contributions[update.client_id] = alignment * float(np.linalg.norm(shift))
+
+        values = np.array(list(contributions.values()))
+        spread = values.max() - values.min() or 1e-9
+        reputations = {}
+        for update in updates:
+            normalized = (contributions[update.client_id] - values.min()) / spread
+            accuracy = float(update.metrics.get("local_accuracy", 0.5))
+            reputations[update.client_id] = float(np.clip(0.6 * normalized + 0.4 * accuracy, 0.0, 1.0))
+        return {
+            "round_id": request.round_id,
+            "contributions": contributions,
+            "reputations": reputations,
+            "top_client": max(reputations, key=reputations.get),
+        }

@@ -1,0 +1,119 @@
+"""Analysis helpers: comparisons, tables, runner plumbing, capacity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.capacity import (
+    dedicated_cache_cost_per_hour,
+    estimate_full_caching,
+    estimate_tailored_caching,
+    full_job_metadata_bytes,
+)
+from repro.analysis.comparison import absolute_reduction, percent_reduction, speedup
+from repro.analysis.runner import KNOWN_SYSTEMS, prepare_setup, run_trace
+from repro.analysis.tables import format_mapping, format_table
+from repro.config import SimulationConfig
+from repro.simulation.metrics import MetricsCollector
+
+
+class TestComparison:
+    def test_percent_reduction(self):
+        assert percent_reduction(100.0, 25.0) == pytest.approx(75.0)
+        assert percent_reduction(0.0, 10.0) == 0.0
+        assert percent_reduction(10.0, 20.0) == pytest.approx(-100.0)
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+        assert speedup(10.0, 0.0) == float("inf")
+
+    def test_absolute_reduction(self):
+        assert absolute_reduction(5.0, 3.0) == pytest.approx(2.0)
+
+
+class TestTables:
+    def test_format_table_aligns_columns(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 22.5}]
+        text = format_table(rows, title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 2 + 1 + len(rows)
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="x")
+
+    def test_format_table_respects_column_order(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_format_value_scientific_for_tiny_numbers(self):
+        text = format_table([{"v": 0.0000012}])
+        assert "e-" in text
+
+    def test_format_mapping(self):
+        text = format_mapping({"x": 1, "y": 2})
+        assert "x" in text and "y" in text
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        return prepare_setup(SimulationConfig.small(seed=5), num_rounds=5)
+
+    def test_prepare_setup_builds_all_known_systems(self, setup):
+        assert set(setup.systems) == set(KNOWN_SYSTEMS)
+        assert len(setup.rounds) == 5
+        assert setup.generator is not None
+
+    def test_all_systems_share_the_same_rounds(self, setup):
+        assert len(setup.flstore.catalog) == 5
+        assert len(setup.objstore_agg.catalog) == 5
+        assert len(setup.cache_agg.catalog) == 5
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            prepare_setup(SimulationConfig.small(), num_rounds=1, systems=("mainframe",))
+
+    def test_run_trace_produces_records(self, setup):
+        collector = MetricsCollector()
+        trace = setup.generator.workload_trace("cosine_similarity", 3)
+        records = run_trace(
+            setup.flstore, trace, system_name="flstore", model_name="resnet18", collector=collector
+        )
+        assert len(records) == 3
+        assert len(collector) == 3
+        assert all(r.system == "flstore" for r in records)
+        assert all(r.workload == "cosine_similarity" for r in records)
+
+    def test_run_trace_infers_names(self, setup):
+        trace = setup.generator.workload_trace("inference", 1)
+        records = run_trace(setup.objstore_agg, trace)
+        assert records[0].system == "objstore-agg"
+        assert records[0].model_name == setup.config.job.model_name
+
+
+class TestCapacityModel:
+    def test_full_job_volume_matches_paper_scale(self):
+        # Paper: ~79 TB for 1000 clients x 1000 rounds with EfficientNet.
+        total_tb = full_job_metadata_bytes() / 1024**4
+        assert 60 <= total_tb <= 100
+
+    def test_full_caching_needs_thousands_of_functions(self):
+        estimate = estimate_full_caching()
+        assert estimate.functions_needed > 5000
+        assert estimate.keepalive_cost_per_month > 10.0
+
+    def test_tailored_footprint_is_orders_of_magnitude_smaller(self):
+        full = estimate_full_caching()
+        tailored = estimate_tailored_caching()
+        assert tailored.total_bytes < full.total_bytes / 1000
+        assert tailored.functions_needed <= 2
+        assert tailored.total_gb < 5.0
+
+    def test_dedicated_cache_cost_scales_with_volume(self):
+        small = dedicated_cache_cost_per_hour(10 * 1024**3)
+        large = dedicated_cache_cost_per_hour(1000 * 1024**3)
+        assert large > small

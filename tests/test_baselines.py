@@ -1,0 +1,113 @@
+"""The ObjStore-Agg and Cache-Agg baselines and their comparison with FLStore."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.cache_agg import CacheAggregator
+from repro.baselines.objstore_agg import ObjStoreAggregator
+
+
+class TestObjStoreAggregator:
+    def test_ingest_stores_every_object(self, objstore_agg, rounds):
+        for record in rounds:
+            for key in record.all_keys():
+                assert objstore_agg.object_store.contains(key)
+        assert objstore_agg.ingest_cost.total_dollars > 0
+
+    def test_serve_is_communication_bound(self, objstore_agg):
+        result = objstore_agg.serve(objstore_agg.make_request("malicious_filtering", round_id=5))
+        latency = result.latency
+        assert latency.communication_seconds > 5 * latency.computation_seconds
+        assert latency.communication_seconds / latency.total_seconds > 0.8
+
+    def test_serve_counts_every_required_key_as_remote(self, objstore_agg, rounds):
+        result = objstore_agg.serve(objstore_agg.make_request("clustering", round_id=5))
+        assert result.cache_hits == 0
+        assert result.cache_misses == rounds[5].num_participants
+
+    def test_missing_round_raises_workload_error(self, objstore_agg):
+        from repro.common.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            objstore_agg.serve(objstore_agg.make_request("inference", round_id=999))
+
+    def test_provisioned_cost_includes_instance(self, objstore_agg, pricing):
+        cost = objstore_agg.provisioned_cost(10.0)
+        assert cost.provisioned_dollars >= 10.0 * pricing.aggregator_cost_per_hour
+
+    def test_cost_dominated_by_occupancy_not_requests(self, objstore_agg):
+        result = objstore_agg.serve(objstore_agg.make_request("clustering", round_id=6))
+        assert result.cost.compute_dollars > result.cost.request_dollars
+
+
+class TestCacheAggregator:
+    def test_faster_but_more_expensive_than_objstore(self, objstore_agg, cache_agg):
+        objstore_result = objstore_agg.serve(objstore_agg.make_request("clustering", round_id=5))
+        cache_result = cache_agg.serve(cache_agg.make_request("clustering", round_id=5))
+        assert cache_result.latency.total_seconds < objstore_result.latency.total_seconds
+
+    def test_provisioned_nodes_sized_for_whole_job(self, small_config, cache_agg):
+        nodes = cache_agg.provisioned_nodes_for_job()
+        assert nodes >= 1
+        job_bytes = cache_agg.expected_job_bytes()
+        node_bytes = small_config.pricing.cache_node_memory_gb * 1024**3
+        assert nodes >= job_bytes / node_bytes
+
+    def test_provisioned_cost_includes_cache_cluster(self, cache_agg, pricing):
+        cost = cache_agg.provisioned_cost(10.0)
+        instance_only = 10.0 * pricing.aggregator_cost_per_hour
+        assert cost.provisioned_dollars > instance_only
+
+    def test_serve_round_trip(self, cache_agg):
+        result = cache_agg.serve(cache_agg.make_request("cosine_similarity", round_id=5))
+        assert isinstance(result.result, dict)
+        assert result.latency.total_seconds > 0
+
+
+class TestPaperShapes:
+    """The headline comparisons of Section 5.2/5.3 at laptop scale."""
+
+    @pytest.fixture()
+    def warm_flstore(self, flstore):
+        # Warm FLStore on the evaluated rounds so the comparison reflects the
+        # steady state (the paper's traces run for 50 hours).
+        for round_id in (6, 7):
+            flstore.serve(flstore.make_request("malicious_filtering", round_id=round_id))
+        return flstore
+
+    def test_flstore_latency_beats_objstore_agg(self, warm_flstore, objstore_agg):
+        flstore_result = warm_flstore.serve(
+            warm_flstore.make_request("malicious_filtering", round_id=8)
+        )
+        baseline_result = objstore_agg.serve(
+            objstore_agg.make_request("malicious_filtering", round_id=8)
+        )
+        assert flstore_result.latency.total_seconds < 0.5 * baseline_result.latency.total_seconds
+
+    def test_flstore_cost_beats_both_baselines(self, warm_flstore, objstore_agg, cache_agg):
+        flstore_result = warm_flstore.serve(
+            warm_flstore.make_request("malicious_filtering", round_id=9)
+        )
+        objstore_result = objstore_agg.serve(
+            objstore_agg.make_request("malicious_filtering", round_id=9)
+        )
+        cache_result = cache_agg.serve(cache_agg.make_request("malicious_filtering", round_id=9))
+        assert flstore_result.cost.total_dollars < objstore_result.cost.total_dollars
+        assert flstore_result.cost.total_dollars < cache_result.cost.total_dollars
+
+    def test_cache_agg_costs_more_than_objstore_agg_at_paper_scale(self):
+        from repro.config import SimulationConfig
+
+        config = SimulationConfig.paper().with_job(reduced_dim=16)
+        from repro.fl.trainer import FLJobSimulator
+
+        rounds = FLJobSimulator(config).run_rounds(3)
+        objstore = ObjStoreAggregator(config)
+        cache = CacheAggregator(config)
+        for record in rounds:
+            objstore.ingest_round(record)
+            cache.ingest_round(record)
+        objstore_cost = objstore.serve(objstore.make_request("clustering", round_id=2)).cost
+        cache_cost = cache.serve(cache.make_request("clustering", round_id=2)).cost
+        assert cache_cost.total_dollars > objstore_cost.total_dollars

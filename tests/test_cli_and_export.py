@@ -1,0 +1,73 @@
+"""CLI entry point and result export helpers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.export import export_csv, export_json, load_json
+from repro.cli import EXPERIMENTS, main
+
+
+class TestExport:
+    def test_export_and_load_json_round_trip(self, tmp_path):
+        rows = [{"a": 1, "b": [1, 2]}, {"a": 2.5, "b": {"x": 1}}]
+        path = export_json(rows, tmp_path / "out" / "rows.json")
+        assert path.exists()
+        assert load_json(path) == [{"a": 1, "b": [1, 2]}, {"a": 2.5, "b": {"x": 1}}]
+
+    def test_export_json_handles_result_mappings(self, tmp_path):
+        result = {"rows": [{"a": 1}], "summary": (1, 2)}
+        path = export_json(result, tmp_path / "result.json")
+        loaded = load_json(path)
+        assert loaded["rows"] == [{"a": 1}]
+        assert loaded["summary"] == [1, 2]
+
+    def test_export_csv_union_of_columns(self, tmp_path):
+        rows = [{"a": 1, "b": 2}, {"a": 3, "c": [4, 5]}]
+        path = export_csv(rows, tmp_path / "rows.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].split(",") == ["a", "b", "c"]
+        assert len(lines) == 3
+        assert json.loads(lines[2].split(",", 2)[2].replace('""', '"').strip('"')) == [4, 5]
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table2" in out
+
+    def test_workloads_command(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "malicious_filtering" in out and "P2" in out
+
+    def test_run_small_experiment_and_export(self, tmp_path, capsys):
+        out_file = tmp_path / "fig19.json"
+        assert main(["run", "fig19", "--out", str(out_file)]) == 0
+        printed = capsys.readouterr().out
+        assert "Model memory footprints" in printed
+        assert out_file.exists()
+        assert load_json(out_file)["num_models"] == 23
+
+    def test_run_with_rounds_override(self, capsys):
+        assert main(["run", "fig12", "--rounds", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Scalability" in out
+
+    def test_run_csv_export(self, tmp_path, capsys):
+        out_file = tmp_path / "sec55.csv"
+        assert main(["run", "sec55", "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "concurrent_requests" in out_file.read_text()
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_every_registered_experiment_has_description(self):
+        for name, (runner, description) in EXPERIMENTS.items():
+            assert callable(runner)
+            assert description

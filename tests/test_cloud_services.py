@@ -1,0 +1,185 @@
+"""Object store, in-memory cache service, dedicated instance, pricing catalogue."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance import DedicatedInstance
+from repro.cloud.memory_cache import MemoryCacheService
+from repro.cloud.object_store import ObjectStore
+from repro.cloud.payload import payload_size_bytes
+from repro.cloud.pricing import DEFAULT_PRICING, pricing_summary
+from repro.common.errors import ConfigurationError, DataNotFoundError
+from repro.common.units import GB, MB
+
+
+@pytest.fixture()
+def object_store(topology, cost_model):
+    return ObjectStore(topology.objstore, cost_model)
+
+
+@pytest.fixture()
+def memory_cache(topology, cost_model, pricing):
+    return MemoryCacheService(topology.cache, cost_model, pricing)
+
+
+class TestPayloadSize:
+    def test_size_bytes_attribute_wins(self):
+        class Obj:
+            size_bytes = 123
+
+        assert payload_size_bytes(Obj()) == 123
+
+    def test_bytes_use_length(self):
+        assert payload_size_bytes(b"abc") == 3
+
+    def test_numpy_uses_nbytes(self):
+        assert payload_size_bytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_dict_with_size_bytes(self):
+        assert payload_size_bytes({"size_bytes": 77}) == 77
+
+    def test_fallback_is_positive(self):
+        assert payload_size_bytes(12345) > 0
+
+
+class TestObjectStore:
+    def test_put_then_get_round_trip(self, object_store):
+        object_store.put("key", {"payload": 1}, size_bytes=10 * MB)
+        result = object_store.get("key")
+        assert result.value == {"payload": 1}
+        assert result.latency.communication_seconds > 0
+        assert result.cost.request_dollars > 0
+
+    def test_get_missing_raises(self, object_store):
+        with pytest.raises(DataNotFoundError):
+            object_store.get("nope")
+        assert object_store.stats.missed_gets == 1
+
+    def test_latency_scales_with_object_size(self, object_store):
+        object_store.put("small", b"", size_bytes=1 * MB)
+        object_store.put("large", b"", size_bytes=100 * MB)
+        assert (
+            object_store.get("large").latency.total_seconds
+            > object_store.get("small").latency.total_seconds
+        )
+
+    def test_delete_is_idempotent(self, object_store):
+        object_store.put("key", b"x", size_bytes=1)
+        object_store.delete("key")
+        object_store.delete("key")
+        assert not object_store.contains("key")
+
+    def test_total_stored_bytes_and_len(self, object_store):
+        object_store.put("a", b"", size_bytes=10)
+        object_store.put("b", b"", size_bytes=20)
+        assert object_store.total_stored_bytes == 30
+        assert len(object_store) == 2
+        assert set(object_store.keys()) == {"a", "b"}
+
+    def test_size_of(self, object_store):
+        object_store.put("a", b"", size_bytes=10)
+        assert object_store.size_of("a") == 10
+        with pytest.raises(DataNotFoundError):
+            object_store.size_of("b")
+
+    def test_overwrite_replaces_size(self, object_store):
+        object_store.put("a", b"", size_bytes=10)
+        object_store.put("a", b"", size_bytes=50)
+        assert object_store.total_stored_bytes == 50
+
+    def test_storage_cost_positive(self, object_store):
+        object_store.put("a", b"", size_bytes=10 * GB)
+        assert object_store.storage_cost(720.0).storage_dollars > 0
+
+    def test_stats_track_operations(self, object_store):
+        object_store.put("a", b"", size_bytes=5)
+        object_store.get("a")
+        assert object_store.stats.puts == 1
+        assert object_store.stats.gets == 1
+        assert object_store.stats.bytes_read == 5
+
+
+class TestMemoryCacheService:
+    def test_put_get_round_trip(self, memory_cache):
+        memory_cache.put("k", [1, 2, 3], size_bytes=5 * MB)
+        assert memory_cache.get("k").value == [1, 2, 3]
+
+    def test_missing_key_raises(self, memory_cache):
+        with pytest.raises(DataNotFoundError):
+            memory_cache.get("missing")
+
+    def test_faster_than_object_store(self, memory_cache, object_store):
+        object_store.put("k", b"", size_bytes=200 * MB)
+        memory_cache.put("k", b"", size_bytes=200 * MB)
+        assert (
+            memory_cache.get("k").latency.total_seconds
+            < object_store.get("k").latency.total_seconds
+        )
+
+    def test_provisioned_nodes_grow_with_volume(self, memory_cache, pricing):
+        assert memory_cache.provisioned_nodes == 1
+        memory_cache.put("big", b"", size_bytes=int(2.5 * pricing.cache_node_memory_gb * GB))
+        assert memory_cache.provisioned_nodes >= 3
+
+    def test_provisioned_cost_scales_with_hours(self, memory_cache):
+        one = memory_cache.provisioned_cost(1.0).provisioned_dollars
+        fifty = memory_cache.provisioned_cost(50.0).provisioned_dollars
+        assert fifty == pytest.approx(50 * one)
+
+    def test_delete_and_len(self, memory_cache):
+        memory_cache.put("a", b"", size_bytes=1)
+        memory_cache.delete("a")
+        assert len(memory_cache) == 0
+        assert not memory_cache.contains("a")
+
+
+class TestDedicatedInstance:
+    def test_execute_charges_compute_time(self, pricing):
+        instance = DedicatedInstance(pricing, relative_speed=1.0)
+        result = instance.execute(3600.0)
+        assert result.latency.computation_seconds == pytest.approx(3600.0)
+        assert result.cost.compute_dollars == pytest.approx(pricing.aggregator_cost_per_hour)
+
+    def test_relative_speed_shortens_compute(self, pricing):
+        fast = DedicatedInstance(pricing, relative_speed=0.5)
+        assert fast.execute(10.0).latency.computation_seconds == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_speed(self, pricing):
+        with pytest.raises(ConfigurationError):
+            DedicatedInstance(pricing, relative_speed=0.0)
+
+    def test_rejects_negative_compute(self, pricing):
+        with pytest.raises(ValueError):
+            DedicatedInstance(pricing).execute(-1.0)
+
+    def test_occupancy_cost(self, pricing):
+        instance = DedicatedInstance(pricing)
+        assert instance.occupancy_cost(3600.0).compute_dollars == pytest.approx(
+            pricing.aggregator_cost_per_hour
+        )
+        with pytest.raises(ValueError):
+            instance.occupancy_cost(-1.0)
+
+    def test_idle_cost(self, pricing):
+        instance = DedicatedInstance(pricing)
+        assert instance.idle_cost(50.0).provisioned_dollars == pytest.approx(
+            50.0 * pricing.aggregator_cost_per_hour
+        )
+
+    def test_stats_accumulate(self, pricing):
+        instance = DedicatedInstance(pricing, relative_speed=1.0)
+        instance.execute(1.0)
+        instance.execute(2.0)
+        assert instance.stats.executions == 2
+        assert instance.stats.busy_seconds == pytest.approx(3.0)
+
+
+class TestPricingCatalogue:
+    def test_summary_contains_every_service(self):
+        summary = pricing_summary()
+        assert {"aggregator_per_hour", "lambda_per_gb_second", "cache_node_per_hour"} <= set(summary)
+
+    def test_default_pricing_matches_config(self):
+        assert pricing_summary()["aggregator_per_hour"] == DEFAULT_PRICING.aggregator_cost_per_hour

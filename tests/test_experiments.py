@@ -1,0 +1,183 @@
+"""The figure/table experiments run end to end (at reduced scale) and keep the paper's shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments as E
+from repro.analysis import experiments_appendix as A
+
+# Small scales keep the whole module under a few seconds while still being
+# large enough for the qualitative shapes to emerge.
+FAST = dict(num_rounds=8, requests_per_workload=5)
+WORKLOADS_SMALL = ("malicious_filtering", "cosine_similarity", "incentives")
+
+
+class TestMotivationFigures:
+    def test_figure1_non_training_share_is_significant(self):
+        rows = E.run_figure1_latency_share(
+            workloads=WORKLOADS_SMALL, num_rounds=8, requests_per_workload=4
+        )
+        assert len(rows) == len(WORKLOADS_SMALL)
+        assert all(0.0 <= r["non_training_share_pct"] <= 100.0 for r in rows)
+        # The heavier workloads should account for a large share of round latency.
+        assert max(r["non_training_share_pct"] for r in rows) > 30.0
+
+    def test_figure2_cost_share_dominated_by_non_training(self):
+        rows = E.run_figure2_cost_share(
+            workloads=WORKLOADS_SMALL, num_rounds=8, requests_per_workload=4
+        )
+        # With 10 participants per round (vs the paper's 200-client rounds)
+        # the non-training share is smaller in absolute terms, but it must
+        # still be a substantial fraction of the per-round cost.
+        assert max(r["non_training_share_pct"] for r in rows) > 40.0
+        assert all(r["non_training_cost"] > 0 for r in rows)
+
+    def test_figure4_communication_dominates_computation(self):
+        result = E.run_figure4_comm_vs_comp(
+            models=("resnet18", "efficientnet_v2_small"),
+            workloads=("cosine_similarity", "malicious_filtering"),
+            num_rounds=8,
+            requests_per_workload=4,
+        )
+        assert result["average_communication_seconds"] > result["average_computation_seconds"]
+        assert result["communication_to_computation_ratio"] > 5.0
+
+
+class TestHeadlineComparisons:
+    def test_figure7_flstore_latency_beats_objstore(self):
+        rows = E.run_figure7_latency_vs_objstore(
+            models=("efficientnet_v2_small",), workloads=WORKLOADS_SMALL, **FAST
+        )
+        assert len(rows) == len(WORKLOADS_SMALL)
+        mean_reduction = np.mean([r["latency_reduction_pct"] for r in rows])
+        assert mean_reduction > 40.0
+        assert all(r["flstore_latency_seconds"] < r["objstore_agg_latency_seconds"] for r in rows)
+
+    def test_figure8_flstore_cost_beats_objstore(self):
+        rows = E.run_figure8_cost_vs_objstore(
+            models=("efficientnet_v2_small",), workloads=WORKLOADS_SMALL, **FAST
+        )
+        mean_reduction = np.mean([r["cost_reduction_pct"] for r in rows])
+        assert mean_reduction > 70.0
+
+    def test_figure9_flstore_beats_cache_agg_on_cost(self):
+        rows = E.run_figure9_vs_cache_agg(workloads=WORKLOADS_SMALL, **FAST)
+        assert all(r["cost_reduction_pct"] > 90.0 for r in rows)
+        heavy = [r for r in rows if r["workload"] == "Malicious Filtering"]
+        assert heavy and heavy[0]["latency_reduction_pct"] > 0.0
+
+    def test_figure10_overall_cost_drops_with_flstore(self):
+        rows = E.run_figure10_overall_cost(
+            workloads=WORKLOADS_SMALL, num_rounds=8, requests_per_workload=4
+        )
+        assert all(r["cost_with_flstore"] <= r["cost_without_flstore"] for r in rows)
+        assert max(r["reduction_pct"] for r in rows) > 20.0
+
+
+class TestPolicyStudies:
+    def test_figure11_tailored_policy_beats_traditional(self):
+        rows = E.run_figure11_policy_comparison(
+            workloads=("malicious_filtering", "clustering"),
+            policy_modes={"FLStore": "tailored", "FLStore-FIFO": "fifo"},
+            num_rounds=8,
+            requests_per_workload=5,
+        )
+        by_variant = {}
+        for row in rows:
+            by_variant.setdefault(row["variant"], []).append(row["mean_latency_seconds"])
+        assert np.mean(by_variant["FLStore"]) < np.mean(by_variant["FLStore-FIFO"])
+
+    def test_table2_hit_rates_contrast(self):
+        rows = E.run_table2_hit_rates(num_rounds=10)
+        flstore_rows = [r for r in rows if r["policy"].startswith("FLStore")]
+        traditional_rows = [r for r in rows if not r["policy"].startswith("FLStore")]
+        assert all(r["hit_rate"] >= 0.8 for r in flstore_rows)
+        assert all(r["hit_rate"] <= 0.05 for r in traditional_rows)
+        assert {r["group"] for r in rows} == {"P2", "P3", "P4"}
+
+    def test_figure18_dynamic_policy_beats_static(self):
+        result = E.run_figure18_static_ablation(num_rounds=8, warmup_requests=3, measured_requests=5)
+        assert result["latency_reduction_pct"] > 0.0
+        assert result["cost_ratio"] > 1.0
+
+
+class TestTotalsBreakups:
+    def test_figure15_baseline_is_communication_bound(self):
+        rows = E.run_figure15_total_time_breakup(
+            models=("efficientnet_v2_small",), workloads=WORKLOADS_SMALL, **FAST
+        )
+        heavy = [r for r in rows if r["workload"] != "Incentives"]
+        assert all(r["objstore_comm_fraction"] > 0.8 for r in heavy)
+        assert all(r["flstore_total_hours"] < r["objstore_communication_hours"] for r in heavy)
+
+    def test_figure16_total_cost_reduction(self):
+        rows = E.run_figure16_total_cost_breakup(
+            models=("efficientnet_v2_small",), workloads=WORKLOADS_SMALL, **FAST
+        )
+        assert all(r["cost_reduction_pct"] > 50.0 for r in rows)
+
+    def test_figure17_totals_vs_cache_agg(self):
+        rows = E.run_figure17_vs_cache_agg_totals(workloads=WORKLOADS_SMALL, **FAST)
+        assert all(r["cost_reduction_pct"] > 90.0 for r in rows)
+        # Model-update-heavy workloads must also win on accumulated time;
+        # metadata-only workloads (Incentives) are allowed to be comparable.
+        heavy = [r for r in rows if r["workload"] != "Incentives"]
+        assert all(r["flstore_total_hours"] < r["cache_agg_total_hours"] for r in heavy)
+
+
+class TestAppendixExperiments:
+    def test_figure12_latency_flat_then_rising(self):
+        rows = A.run_figure12_scalability(
+            workloads=("cosine_similarity",), parallel_requests=(1, 3, 5, 8, 10), num_rounds=6
+        )
+        by_parallel = {r["parallel_requests"]: r["mean_latency_seconds"] for r in rows}
+        assert by_parallel[1] == pytest.approx(by_parallel[5])
+        assert by_parallel[10] > by_parallel[5]
+
+    def test_figure13_more_instances_reduce_latency(self):
+        rows = A.run_figure13_fault_tolerance(
+            workloads=("clustering", "cosine_similarity"),
+            function_instances=(1, 3),
+            requests_per_workload=6,
+            num_rounds=8,
+            fault_rate=0.4,
+        )
+        single = np.mean([r["mean_latency_seconds"] for r in rows if r["function_instances"] == 1])
+        triple = np.mean([r["mean_latency_seconds"] for r in rows if r["function_instances"] == 3])
+        assert triple <= single
+
+    def test_figure14_replication_cheaper_than_refetching(self):
+        result = A.run_figure14_replication_vs_refetch(
+            workloads=("clustering", "cosine_similarity"),
+            requests_per_workload=6,
+            num_rounds=8,
+            fault_rate=0.4,
+        )
+        assert result["replication_total_cost_dollars"] <= result["refetch_total_cost_dollars"]
+        assert result["replication_keepalive_cost_dollars"] < 0.01
+
+    def test_figure19_model_zoo_summary(self):
+        result = A.run_figure19_model_footprints()
+        assert result["num_models"] == 23
+        assert 120 <= result["average_size_mb"] <= 200
+        assert all(r["fits_in_10gb_function"] for r in result["rows"])
+
+    def test_section55_overhead_small_and_fast(self):
+        rows = A.run_section55_component_overhead(request_counts=(1000,))
+        assert rows[0]["request_tracker_mb"] < 5.0
+        assert rows[0]["cache_engine_mb"] < 5.0
+        assert rows[0]["lookup_under_one_ms"]
+
+    def test_section22_capacity_analysis(self):
+        result = A.run_section22_capacity_analysis()
+        assert result["full_caching"]["total_tb"] > 50
+        assert result["tailored_policies"]["total_gb"] < 5
+        assert result["footprint_reduction_pct"] > 99.0
+
+    def test_prefetch_ablation_depth_zero_has_no_hits(self):
+        rows = A.run_ablation_prefetch_depth(prefetch_depths=(0, 1), num_rounds=8, num_requests=6)
+        by_depth = {r["prefetch_rounds_ahead"]: r for r in rows}
+        assert by_depth[0]["hit_rate"] < by_depth[1]["hit_rate"]
+        assert by_depth[1]["mean_latency_seconds"] < by_depth[0]["mean_latency_seconds"]

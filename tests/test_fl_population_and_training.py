@@ -1,0 +1,235 @@
+"""Client population, aggregation, round records, catalog, and the FL job simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.config import FLJobConfig
+from repro.fl.aggregation import coordinate_median, fedavg, trimmed_mean
+from repro.fl.catalog import RoundCatalog
+from repro.fl.clients import ClientPopulation
+from repro.fl.keys import DataKey
+from repro.fl.models import ModelUpdate, get_model_spec
+from repro.fl.rounds import RoundRecord
+from repro.fl.trainer import FLJobSimulator
+
+
+def _update(client_id, round_id, weights, model="resnet18", samples=10.0):
+    return ModelUpdate(
+        client_id=client_id,
+        round_id=round_id,
+        model_name=model,
+        weights=np.asarray(weights, dtype=float),
+        size_bytes=get_model_spec(model).size_bytes,
+        metrics={"num_samples": samples},
+    )
+
+
+class TestClientPopulation:
+    def test_population_size(self, job_config):
+        population = ClientPopulation(job_config, seed=1)
+        assert len(population) == job_config.total_clients
+
+    def test_deterministic_given_seed(self, job_config):
+        a = ClientPopulation(job_config, seed=1)
+        b = ClientPopulation(job_config, seed=1)
+        assert [c.cluster_id for c in a] == [c.cluster_id for c in b]
+        assert a.malicious_ids == b.malicious_ids
+
+    def test_malicious_fraction_respected(self):
+        config = FLJobConfig(total_clients=100, clients_per_round=10, total_rounds=5, malicious_fraction=0.1)
+        population = ClientPopulation(config, seed=2)
+        assert len(population.malicious_ids) == 10
+
+    def test_round_selection_size_and_determinism(self, job_config):
+        population = ClientPopulation(job_config, seed=1)
+        first = population.select_round_participants(0)
+        again = population.select_round_participants(0)
+        assert len(first) == job_config.clients_per_round
+        assert [c.client_id for c in first] == [c.client_id for c in again]
+
+    def test_round_selection_varies_across_rounds(self, job_config):
+        population = ClientPopulation(job_config, seed=1)
+        r0 = {c.client_id for c in population.select_round_participants(0)}
+        r1 = {c.client_id for c in population.select_round_participants(1)}
+        assert r0 != r1
+
+    def test_get_out_of_range(self, job_config):
+        population = ClientPopulation(job_config, seed=1)
+        with pytest.raises(KeyError):
+            population.get(10_000)
+
+    def test_cluster_members_cover_population(self, job_config):
+        population = ClientPopulation(job_config, seed=1)
+        total = sum(len(population.cluster_members(c)) for c in range(job_config.latent_clusters))
+        assert total == len(population)
+
+
+class TestAggregation:
+    def test_fedavg_weighted_mean(self):
+        updates = [
+            _update(0, 0, [0.0, 0.0], samples=1.0),
+            _update(1, 0, [1.0, 1.0], samples=3.0),
+        ]
+        aggregate = fedavg(updates)
+        np.testing.assert_allclose(aggregate.weights, [0.75, 0.75])
+        assert aggregate.is_aggregate
+        assert aggregate.round_id == 0
+
+    def test_fedavg_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fedavg([])
+
+    def test_fedavg_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            fedavg([_update(0, 0, [1.0]), _update(1, 0, [1.0, 2.0])])
+
+    def test_fedavg_rejects_mixed_models(self):
+        with pytest.raises(ValueError):
+            fedavg([_update(0, 0, [1.0]), _update(1, 0, [1.0], model="vgg16")])
+
+    def test_coordinate_median_robust_to_outlier(self):
+        updates = [
+            _update(0, 0, [1.0, 1.0]),
+            _update(1, 0, [1.1, 0.9]),
+            _update(2, 0, [100.0, -100.0]),
+        ]
+        robust = coordinate_median(updates)
+        assert abs(robust.weights[0]) < 2.0
+
+    def test_trimmed_mean_drops_extremes(self):
+        updates = [_update(i, 0, [float(v)]) for i, v in enumerate([1, 2, 3, 4, 100])]
+        trimmed = trimmed_mean(updates, trim_fraction=0.2)
+        plain = fedavg(updates)
+        assert trimmed.weights[0] < plain.weights[0]
+
+    def test_trimmed_mean_validates_fraction(self):
+        with pytest.raises(ValueError):
+            trimmed_mean([_update(0, 0, [1.0])], trim_fraction=0.7)
+
+
+class TestRoundRecord:
+    def test_round_consistency_enforced(self):
+        update = _update(0, 1, [1.0])
+        aggregate = _update(-1, 0, [1.0])
+        with pytest.raises(ValueError):
+            RoundRecord(round_id=0, updates={0: update}, aggregate=aggregate)
+
+    def test_key_views(self, rounds):
+        record = rounds[0]
+        keys = record.all_keys()
+        assert record.aggregate_key() in keys
+        assert len(record.update_keys()) == record.num_participants
+        assert len(keys) == len(record.update_keys()) + len(record.metadata_keys()) + 1
+
+    def test_objects_iterates_everything(self, rounds):
+        record = rounds[0]
+        objects = dict(record.objects())
+        assert set(objects) == set(record.all_keys())
+
+    def test_get_by_key(self, rounds):
+        record = rounds[0]
+        cid = record.participant_ids[0]
+        assert record.get(DataKey.update(cid, record.round_id)).client_id == cid
+        assert record.get(record.aggregate_key()).is_aggregate
+        with pytest.raises(KeyError):
+            record.get(DataKey.update(cid, record.round_id + 1))
+
+    def test_total_bytes_exceeds_update_bytes(self, rounds):
+        record = rounds[0]
+        assert record.total_bytes > record.update_bytes
+
+
+class TestRoundCatalog:
+    def test_register_and_query(self, rounds):
+        catalog = RoundCatalog()
+        for record in rounds:
+            catalog.register_round(record)
+        assert len(catalog) == len(rounds)
+        assert catalog.latest_round == rounds[-1].round_id
+        assert catalog.participants(0) == rounds[0].participant_ids
+        assert catalog.has_round(0)
+        assert not catalog.has_round(999)
+
+    def test_recent_rounds_window(self, rounds):
+        catalog = RoundCatalog()
+        for record in rounds:
+            catalog.register_round(record)
+        assert catalog.recent_rounds(3) == [r.round_id for r in rounds[-3:]]
+        assert catalog.recent_rounds(3, up_to=5) == [3, 4, 5]
+
+    def test_rounds_for_client(self, rounds):
+        catalog = RoundCatalog()
+        for record in rounds:
+            catalog.register_round(record)
+        client = rounds[0].participant_ids[0]
+        participations = catalog.rounds_for_client(client)
+        assert 0 in participations
+        assert all(client in catalog.participants(r) for r in participations)
+
+    def test_register_membership_without_record(self):
+        catalog = RoundCatalog()
+        catalog.register_membership(5, [1, 2, 3])
+        assert catalog.participants(5) == [1, 2, 3]
+        assert catalog.metadata_clients(5) == [1, 2, 3]
+
+    def test_empty_catalog(self):
+        catalog = RoundCatalog()
+        assert catalog.latest_round == -1
+        assert catalog.participants(0) == []
+
+
+class TestFLJobSimulator:
+    def test_round_structure(self, small_config):
+        simulator = FLJobSimulator(small_config)
+        record = simulator.generate_round()
+        assert record.num_participants == small_config.job.clients_per_round
+        assert record.aggregate.is_aggregate
+        assert set(record.metadata) == set(record.updates)
+
+    def test_rounds_must_be_generated_in_order(self, small_config):
+        simulator = FLJobSimulator(small_config)
+        simulator.generate_round()
+        with pytest.raises(ConfigurationError):
+            simulator.generate_round(round_id=5)
+
+    def test_deterministic_across_instances(self, small_config):
+        a = FLJobSimulator(small_config).generate_round()
+        b = FLJobSimulator(small_config).generate_round()
+        assert a.participant_ids == b.participant_ids
+        np.testing.assert_allclose(a.aggregate.weights, b.aggregate.weights)
+
+    def test_update_sizes_match_model_spec(self, small_config, rounds):
+        spec = get_model_spec(small_config.job.model_name)
+        for update in rounds[0].updates.values():
+            assert update.size_bytes == spec.size_bytes
+
+    def test_accuracy_improves_over_training(self, small_config):
+        simulator = FLJobSimulator(small_config.with_job(total_rounds=20))
+        simulator.run_rounds(20)
+        history = simulator.state.accuracy_history
+        assert np.mean(history[-5:]) > np.mean(history[:5])
+
+    def test_malicious_updates_are_outliers(self, small_config):
+        config = small_config.with_job(malicious_fraction=0.2, total_clients=20, clients_per_round=10)
+        simulator = FLJobSimulator(config)
+        malicious_ids = simulator.population.malicious_ids
+        record = simulator.generate_round()
+        norms = {cid: update.l2_norm() for cid, update in record.updates.items()}
+        present_malicious = [cid for cid in record.updates if cid in malicious_ids]
+        present_honest = [cid for cid in record.updates if cid not in malicious_ids]
+        if present_malicious and present_honest:
+            assert max(norms[c] for c in present_malicious) > np.median(
+                [norms[c] for c in present_honest]
+            )
+
+    def test_rounds_iterator_respects_count(self, small_config):
+        simulator = FLJobSimulator(small_config)
+        generated = list(simulator.rounds(3))
+        assert [r.round_id for r in generated] == [0, 1, 2]
+
+    def test_run_rounds_rejects_negative(self, small_config):
+        with pytest.raises(ValueError):
+            FLJobSimulator(small_config).run_rounds(-1)

@@ -1,0 +1,160 @@
+"""End-to-end behaviour of the FLStore facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flstore import FLStore, build_default_flstore
+from repro.fl.keys import DataKey
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.workloads.base import WorkloadRequest
+
+
+class TestIngestion:
+    def test_ingest_populates_catalog_and_cache(self, flstore, rounds):
+        assert len(flstore.catalog) == len(rounds)
+        assert flstore.cached_bytes > 0
+        assert flstore.warm_function_count >= 1
+        assert flstore.ingest_cost.total_dollars > 0
+
+    def test_persistent_store_holds_every_round(self, flstore, rounds):
+        for record in rounds:
+            for key in record.all_keys():
+                assert flstore.persistent_store.contains(key)
+
+    def test_tailored_policy_keeps_bounded_working_set(self, small_config, rounds):
+        system = build_default_flstore(small_config)
+        for record in rounds:
+            system.ingest_round(record)
+        # Only the last couple of rounds of updates (plus metadata window and
+        # the latest aggregate) should be resident, not all ten rounds.
+        spec_bytes = rounds[0].update_bytes
+        assert system.cached_bytes < 4 * spec_bytes
+
+
+class TestServing:
+    def test_serve_returns_result_latency_and_cost(self, flstore):
+        request = flstore.make_request("malicious_filtering", round_id=9)
+        result = flstore.serve(request)
+        assert result.workload == "malicious_filtering"
+        assert result.latency.total_seconds > 0
+        assert result.cost.total_dollars > 0
+        assert result.cache_hits + result.cache_misses > 0
+        assert result.served_by
+
+    def test_warm_request_hits_cache(self, flstore):
+        latest = flstore.catalog.latest_round
+        result = flstore.serve(flstore.make_request("malicious_filtering", round_id=latest))
+        assert result.cache_misses == 0
+        assert result.hit_rate == 1.0
+        # Co-located execution: communication latency is negligible compared
+        # to the baseline's tens of seconds.
+        assert result.latency.communication_seconds < 1.0
+
+    def test_cold_request_fetches_from_persistent_store(self, flstore):
+        result = flstore.serve(flstore.make_request("malicious_filtering", round_id=0))
+        assert result.cache_misses > 0
+        assert result.latency.communication_seconds > 1.0
+
+    def test_prefetch_makes_next_round_a_hit(self, flstore):
+        cold = flstore.serve(flstore.make_request("clustering", round_id=0))
+        assert cold.cache_misses > 0
+        warm = flstore.serve(flstore.make_request("clustering", round_id=1))
+        assert warm.cache_misses == 0
+
+    def test_request_tracker_records_completion(self, flstore):
+        request = flstore.make_request("inference", round_id=flstore.catalog.latest_round)
+        flstore.serve(request)
+        assert flstore.tracker.is_completed(request.request_id)
+
+    def test_duplicate_request_id_rejected(self, flstore):
+        request = WorkloadRequest(request_id="dup", workload="inference", round_id=9)
+        flstore.serve(request)
+        with pytest.raises(ValueError):
+            flstore.serve(request)
+
+    def test_results_are_persisted(self, flstore):
+        request = flstore.make_request("inference", round_id=9)
+        flstore.serve(request)
+        assert flstore.persistent_store.contains(("result", request.request_id))
+
+    def test_every_registered_workload_can_be_served(self, flstore):
+        from repro.workloads.registry import list_workloads
+
+        latest = flstore.catalog.latest_round
+        client = flstore.catalog.participants(latest)[0]
+        for name in list_workloads():
+            result = flstore.serve(flstore.make_request(name, round_id=latest, client_id=client))
+            assert isinstance(result.result, dict)
+
+    def test_clock_advances_with_serving(self, flstore):
+        before = flstore.clock.now()
+        flstore.serve(flstore.make_request("clustering", round_id=9))
+        assert flstore.clock.now() > before
+
+
+class TestCostModel:
+    def test_flstore_request_is_orders_cheaper_than_aggregator_hour(self, flstore):
+        result = flstore.serve(flstore.make_request("cosine_similarity", round_id=9))
+        assert result.cost.total_dollars < 0.01
+
+    def test_standby_cost_is_tiny(self, flstore):
+        standby = flstore.standby_cost(50.0)
+        assert standby.total_dollars < 0.1
+
+    def test_component_overhead_reports_both_components(self, flstore):
+        overhead = flstore.component_overhead()
+        assert overhead["cache_engine_bytes"] > 0
+        assert overhead["request_tracker_bytes"] >= 0
+
+
+class TestFaultTolerance:
+    def _build(self, small_config, rounds, replication, fault_rate):
+        injector = ZipfianFaultInjector(fault_rate=fault_rate, seed=5)
+        system = build_default_flstore(
+            small_config, replication_factor=replication, fault_injector=injector
+        )
+        for record in rounds:
+            system.ingest_round(record)
+        return system
+
+    def test_faults_do_not_break_serving(self, small_config, rounds):
+        system = self._build(small_config, rounds, replication=0, fault_rate=0.5)
+        for i in range(6, 10):
+            result = system.serve(system.make_request("malicious_filtering", round_id=i))
+            assert isinstance(result.result, dict)
+
+    def test_replication_reduces_miss_penalty_under_faults(self, small_config, rounds):
+        unreplicated = self._build(small_config, rounds, replication=0, fault_rate=0.6)
+        replicated = self._build(small_config, rounds, replication=2, fault_rate=0.6)
+        def total_misses(system):
+            misses = 0
+            for i in range(4, 10):
+                misses += system.serve(system.make_request("clustering", round_id=i)).cache_misses
+            return misses
+
+        assert total_misses(replicated) <= total_misses(unreplicated)
+
+    def test_policy_mode_variants_build_and_serve(self, small_config, rounds):
+        for mode in ("lru", "fifo", "static", "random-policy", "limited"):
+            system = build_default_flstore(small_config, policy_mode=mode)
+            for record in rounds[:3]:
+                system.ingest_round(record)
+            result = system.serve(system.make_request("malicious_filtering", round_id=2))
+            assert isinstance(result.result, dict)
+
+
+class TestBuilder:
+    def test_builder_rejects_unknown_policy(self, small_config):
+        with pytest.raises(ValueError):
+            build_default_flstore(small_config, policy_mode="quantum")
+
+    def test_shared_persistent_store(self, small_config, rounds):
+        first = build_default_flstore(small_config)
+        for record in rounds[:2]:
+            first.ingest_round(record)
+        second = build_default_flstore(small_config, persistent_store=first.persistent_store)
+        assert second.persistent_store is first.persistent_store
+
+    def test_default_build_is_flstore_instance(self, small_config):
+        assert isinstance(build_default_flstore(small_config), FLStore)

@@ -1,0 +1,94 @@
+"""Network links, topology, and transfer cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.units import GB, MB
+from repro.config import NetworkConfig, PricingConfig
+from repro.network.costs import TransferCostModel
+from repro.network.model import NetworkLink, NetworkTopology
+
+
+class TestNetworkLink:
+    def test_transfer_time_scales_with_size(self):
+        link = NetworkLink("test", rtt_seconds=0.01, bandwidth_mb_per_s=10.0)
+        small = link.transfer_seconds(1 * MB)
+        large = link.transfer_seconds(100 * MB)
+        assert large > small
+        assert large == pytest.approx(0.01 + 10.0, rel=1e-3)
+
+    def test_zero_bytes_still_pays_rtt(self):
+        link = NetworkLink("test", rtt_seconds=0.05, bandwidth_mb_per_s=10.0)
+        assert link.transfer_seconds(0) == pytest.approx(0.05)
+
+    def test_negative_payload_rejected(self):
+        link = NetworkLink("test", 0.01, 10.0)
+        with pytest.raises(ValueError):
+            link.transfer_seconds(-1)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NetworkLink("bad", 0.01, 0.0)
+
+    def test_round_trip_includes_both_payloads(self):
+        link = NetworkLink("test", 0.01, 10.0)
+        assert link.round_trip_seconds(10 * MB, 10 * MB) == pytest.approx(0.01 + 2.0)
+
+
+class TestNetworkTopology:
+    def test_has_all_expected_links(self, topology):
+        assert set(topology.link_names()) == {"cache", "client", "objstore", "serverless"}
+
+    def test_cache_is_faster_than_objstore(self, topology):
+        payload = 100 * MB
+        assert topology.cache.transfer_seconds(payload) < topology.objstore.transfer_seconds(payload)
+
+    def test_link_lookup_by_name(self, topology):
+        assert topology.link("objstore") is topology.objstore
+
+    def test_unknown_link_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.link("satellite")
+
+    def test_default_config_used_when_none(self):
+        assert NetworkTopology().objstore.bandwidth_mb_per_s == NetworkConfig().objstore_bandwidth_mb_per_s
+
+
+class TestTransferCostModel:
+    def test_get_charges_request_and_transfer(self):
+        pricing = PricingConfig(objstore_transfer_cost_per_gb=0.09)
+        model = TransferCostModel(pricing)
+        cost = model.objstore_get_cost(1 * GB)
+        assert cost.request_dollars == pytest.approx(pricing.objstore_get_request_cost)
+        assert cost.transfer_dollars == pytest.approx(0.09)
+
+    def test_put_is_request_only(self, cost_model, pricing):
+        cost = cost_model.objstore_put_cost(5 * GB)
+        assert cost.transfer_dollars == 0.0
+        assert cost.request_dollars == pytest.approx(pricing.objstore_put_request_cost)
+
+    def test_storage_cost_scales_with_duration(self, cost_model):
+        short = cost_model.objstore_storage_cost(100 * GB, duration_hours=1.0).storage_dollars
+        long = cost_model.objstore_storage_cost(100 * GB, duration_hours=10.0).storage_dollars
+        assert long == pytest.approx(10 * short)
+
+    def test_cache_node_cost(self, cost_model, pricing):
+        cost = cost_model.cache_node_cost(3, duration_hours=2.0)
+        assert cost.provisioned_dollars == pytest.approx(3 * 2.0 * pricing.cache_node_cost_per_hour)
+
+    def test_aggregator_cost(self, cost_model, pricing):
+        assert cost_model.aggregator_cost(50.0).provisioned_dollars == pytest.approx(
+            50.0 * pricing.aggregator_cost_per_hour
+        )
+
+    def test_lambda_execution_cost(self, cost_model, pricing):
+        cost = cost_model.lambda_execution_cost(memory_gb=4.0, duration_seconds=10.0)
+        assert cost.compute_dollars == pytest.approx(40.0 * pricing.lambda_cost_per_gb_second)
+        assert cost.request_dollars == pytest.approx(pricing.lambda_cost_per_million_requests / 1e6)
+
+    def test_lambda_keepalive_cost_scales_with_instances(self, cost_model):
+        one = cost_model.lambda_keepalive_cost(1, 720.0).provisioned_dollars
+        five = cost_model.lambda_keepalive_cost(5, 720.0).provisioned_dollars
+        assert five == pytest.approx(5 * one)

@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import derive_rng
+from repro.common.units import bytes_to_mb, mb_to_bytes
+from repro.core.policies.traditional import FIFOPolicy, LFUPolicy, LRUPolicy
+from repro.fl.aggregation import coordinate_median, fedavg, trimmed_mean
+from repro.fl.keys import DataKey
+from repro.fl.models import ModelUpdate, get_model_spec
+from repro.network.model import NetworkLink
+from repro.simulation.records import CostBreakdown, LatencyBreakdown
+from repro.workloads.cosine_similarity import pairwise_cosine
+from repro.workloads.clustering import kmeans
+
+finite_floats = st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+# --------------------------------------------------------------------------
+# Latency / cost records form a commutative monoid under addition
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def latency_breakdowns(draw):
+    return LatencyBreakdown(
+        communication_seconds=draw(finite_floats),
+        computation_seconds=draw(finite_floats),
+        queueing_seconds=draw(finite_floats),
+        cold_start_seconds=draw(finite_floats),
+    )
+
+
+@st.composite
+def cost_breakdowns(draw):
+    return CostBreakdown(
+        transfer_dollars=draw(finite_floats),
+        request_dollars=draw(finite_floats),
+        compute_dollars=draw(finite_floats),
+        storage_dollars=draw(finite_floats),
+        provisioned_dollars=draw(finite_floats),
+    )
+
+
+@given(latency_breakdowns(), latency_breakdowns())
+def test_latency_addition_is_commutative(a, b):
+    assert (a + b).total_seconds == pytest.approx((b + a).total_seconds)
+
+
+@given(latency_breakdowns())
+def test_latency_zero_is_identity(a):
+    assert (a + LatencyBreakdown.zero()) == a
+
+
+@given(latency_breakdowns(), latency_breakdowns())
+def test_latency_total_is_sum_of_totals(a, b):
+    assert (a + b).total_seconds == pytest.approx(a.total_seconds + b.total_seconds)
+
+
+@given(cost_breakdowns(), cost_breakdowns())
+def test_cost_total_is_sum_of_totals(a, b):
+    assert (a + b).total_dollars == pytest.approx(a.total_dollars + b.total_dollars)
+
+
+@given(cost_breakdowns(), st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_cost_scaling_scales_total(a, factor):
+    assert a.scaled(factor).total_dollars == pytest.approx(a.total_dollars * factor)
+
+
+@given(latency_breakdowns())
+def test_latency_components_never_exceed_total(a):
+    assert a.communication_seconds <= a.total_seconds + 1e-9
+    assert a.computation_seconds <= a.total_seconds + 1e-9
+
+
+# --------------------------------------------------------------------------
+# Unit conversions and network-link monotonicity
+# --------------------------------------------------------------------------
+
+
+@given(st.floats(min_value=0.0, max_value=1e7, allow_nan=False))
+def test_mb_byte_round_trip(mb):
+    assert bytes_to_mb(mb_to_bytes(mb)) == pytest.approx(mb, abs=1e-6)
+
+
+@given(
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    st.floats(min_value=0.1, max_value=1000.0, allow_nan=False),
+    st.integers(min_value=0, max_value=10**12),
+    st.integers(min_value=0, max_value=10**12),
+)
+def test_transfer_time_is_monotone_in_payload(rtt, bandwidth, small, large):
+    link = NetworkLink("x", rtt_seconds=rtt, bandwidth_mb_per_s=bandwidth)
+    lo, hi = sorted((small, large))
+    assert link.transfer_seconds(lo) <= link.transfer_seconds(hi)
+    assert link.transfer_seconds(lo) >= rtt
+
+
+# --------------------------------------------------------------------------
+# Deterministic RNG derivation
+# --------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(min_size=0, max_size=20))
+def test_derived_rng_is_reproducible(seed, stream):
+    a = derive_rng(seed, stream).random(4)
+    b = derive_rng(seed, stream).random(4)
+    np.testing.assert_allclose(a, b)
+
+
+# --------------------------------------------------------------------------
+# Aggregation invariants
+# --------------------------------------------------------------------------
+
+
+def _updates_from_matrix(matrix, samples):
+    spec = get_model_spec("resnet18")
+    return [
+        ModelUpdate(
+            client_id=i,
+            round_id=0,
+            model_name="resnet18",
+            weights=np.asarray(row, dtype=float),
+            size_bytes=spec.size_bytes,
+            metrics={"num_samples": float(s)},
+        )
+        for i, (row, s) in enumerate(zip(matrix, samples))
+    ]
+
+
+update_matrices = st.integers(min_value=2, max_value=8).flatmap(
+    lambda n: st.tuples(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-100.0, max_value=100.0, allow_nan=False, width=32),
+                min_size=4,
+                max_size=4,
+            ),
+            min_size=n,
+            max_size=n,
+        ),
+        st.lists(st.floats(min_value=1.0, max_value=1000.0, allow_nan=False), min_size=n, max_size=n),
+    )
+)
+
+
+@given(update_matrices)
+@settings(max_examples=50, deadline=None)
+def test_fedavg_stays_within_coordinate_bounds(matrix_and_samples):
+    matrix, samples = matrix_and_samples
+    updates = _updates_from_matrix(matrix, samples)
+    aggregate = fedavg(updates)
+    stacked = np.array(matrix)
+    assert np.all(aggregate.weights <= stacked.max(axis=0) + 1e-6)
+    assert np.all(aggregate.weights >= stacked.min(axis=0) - 1e-6)
+    assert aggregate.is_aggregate
+
+
+@given(update_matrices)
+@settings(max_examples=50, deadline=None)
+def test_robust_aggregators_stay_within_bounds(matrix_and_samples):
+    matrix, samples = matrix_and_samples
+    updates = _updates_from_matrix(matrix, samples)
+    stacked = np.array(matrix)
+    for aggregate in (coordinate_median(updates), trimmed_mean(updates, 0.1)):
+        assert np.all(aggregate.weights <= stacked.max(axis=0) + 1e-6)
+        assert np.all(aggregate.weights >= stacked.min(axis=0) - 1e-6)
+
+
+# --------------------------------------------------------------------------
+# Workload numerics
+# --------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=-50, max_value=50, allow_nan=False, width=32), min_size=3, max_size=3),
+        min_size=2,
+        max_size=10,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_pairwise_cosine_values_bounded(matrix):
+    similarity = pairwise_cosine(np.array(matrix, dtype=float))
+    assert np.all(similarity <= 1.0 + 1e-6)
+    assert np.all(similarity >= -1.0 - 1e-6)
+    assert similarity.shape == (len(matrix), len(matrix))
+
+
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=1, max_value=5),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_kmeans_labels_are_valid(n_points, k, seed):
+    rng = np.random.default_rng(seed)
+    matrix = rng.normal(size=(n_points, 3))
+    labels, centers = kmeans(matrix, k, seed=seed)
+    assert len(labels) == n_points
+    assert labels.max() < centers.shape[0] <= min(k, n_points)
+
+
+# --------------------------------------------------------------------------
+# Capacity-bounded policy invariants
+# --------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.integers(min_value=1, max_value=100)),
+        min_size=1,
+        max_size=30,
+        unique_by=lambda t: t[0],
+    ),
+    st.integers(min_value=1, max_value=2000),
+    st.sampled_from([LRUPolicy, LFUPolicy, FIFOPolicy]),
+)
+@settings(max_examples=60, deadline=None)
+def test_eviction_selection_frees_enough_or_everything(entries, needed, policy_cls):
+    policy = policy_cls(capacity_bytes=10**9)
+    sizes = {}
+    for i, (client, size) in enumerate(entries):
+        key = DataKey.update(client, 0)
+        policy.record_admission(key, size, now=float(i))
+        sizes[key] = size
+    victims = policy.select_evictions(needed, sizes)
+    freed = sum(sizes[k] for k in victims)
+    assert len(set(victims)) == len(victims)
+    assert set(victims) <= set(sizes)
+    assert freed >= min(needed, sum(sizes.values()))

@@ -1,0 +1,66 @@
+"""The package's public API surface."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_surface(self):
+        config = repro.SimulationConfig.small(seed=3)
+        simulator = repro.FLJobSimulator(config)
+        flstore = repro.build_default_flstore(config)
+        for record in simulator.rounds(3):
+            flstore.ingest_round(record)
+        request = flstore.make_request("inference", round_id=2)
+        result = flstore.serve(request)
+        assert isinstance(result, repro.ServeResult)
+        assert repro.get_workload("inference").name == "inference"
+        assert "inference" in repro.list_workloads()
+
+    def test_workload_request_importable_from_top_level(self):
+        request = repro.WorkloadRequest(request_id="x", workload="inference", round_id=0)
+        assert request.round_id == 0
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.analysis.experiments",
+            "repro.analysis.experiments_appendix",
+            "repro.analysis.capacity",
+            "repro.analysis.export",
+            "repro.baselines",
+            "repro.cli",
+            "repro.core",
+            "repro.fl",
+            "repro.network",
+            "repro.serverless",
+            "repro.simulation",
+            "repro.traces",
+            "repro.workloads",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        assert importlib.import_module(module) is not None
+
+    def test_every_public_module_has_a_docstring(self):
+        import pkgutil
+
+        package = importlib.import_module("repro")
+        missing = []
+        for info in pkgutil.walk_packages(package.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert missing == []

@@ -1,0 +1,94 @@
+"""Deterministic RNG derivation, identifier generation, and the error hierarchy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    CacheMissError,
+    CapacityError,
+    ConfigurationError,
+    DataNotFoundError,
+    FLStoreError,
+    FunctionReclaimedError,
+    RequestRoutingError,
+    WorkloadError,
+)
+from repro.common.ids import IdGenerator
+from repro.common.rng import derive_rng, derive_seed, seeded_rng
+
+
+class TestRng:
+    def test_seeded_rng_is_deterministic(self):
+        assert seeded_rng(42).integers(0, 1000) == seeded_rng(42).integers(0, 1000)
+
+    def test_derive_rng_same_stream_same_values(self):
+        a = derive_rng(7, "clients", 3).normal(size=5)
+        b = derive_rng(7, "clients", 3).normal(size=5)
+        np.testing.assert_allclose(a, b)
+
+    def test_derive_rng_different_streams_differ(self):
+        a = derive_rng(7, "clients", 3).normal(size=8)
+        b = derive_rng(7, "clients", 4).normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_derive_rng_different_seeds_differ(self):
+        a = derive_rng(7, "x").normal(size=8)
+        b = derive_rng(8, "x").normal(size=8)
+        assert not np.allclose(a, b)
+
+    def test_derive_seed_is_stable_int(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+        assert isinstance(derive_seed(1, "a"), int)
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+
+class TestIdGenerator:
+    def test_sequential_ids(self):
+        gen = IdGenerator(prefix="fn")
+        assert gen.next() == "fn-0000"
+        assert gen.next() == "fn-0001"
+
+    def test_width(self):
+        gen = IdGenerator(prefix="r", width=6)
+        assert gen.next() == "r-000000"
+
+    def test_independent_generators(self):
+        a, b = IdGenerator(prefix="a"), IdGenerator(prefix="b")
+        a.next()
+        assert b.next() == "b-0000"
+
+    def test_peek_count_does_not_consume(self):
+        gen = IdGenerator()
+        gen.next()
+        assert gen.peek_count() == 1
+        assert gen.next() == "id-0001"
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            ConfigurationError,
+            DataNotFoundError("k"),
+            CacheMissError(),
+            CapacityError(),
+            FunctionReclaimedError("fn-0"),
+            RequestRoutingError(),
+            WorkloadError(),
+        ):
+            assert isinstance(exc if not isinstance(exc, type) else exc(), FLStoreError)
+
+    def test_data_not_found_carries_key(self):
+        err = DataNotFoundError(("c", 3), store="s3")
+        assert err.key == ("c", 3)
+        assert "s3" in str(err)
+
+    def test_function_reclaimed_carries_id(self):
+        err = FunctionReclaimedError("fn-0042")
+        assert err.function_id == "fn-0042"
+        assert "fn-0042" in str(err)
+
+    def test_errors_can_be_raised_and_caught_as_base(self):
+        with pytest.raises(FLStoreError):
+            raise CapacityError("too big")

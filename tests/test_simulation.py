@@ -1,0 +1,148 @@
+"""Virtual clock, latency/cost records, and metrics aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.clock import SimClock
+from repro.simulation.metrics import MetricsCollector, RequestRecord, summarize_records
+from repro.simulation.records import CostBreakdown, LatencyBreakdown, OperationResult
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_never_goes_backwards(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance_to(5.0)
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.reset()
+        assert clock.now() == 0.0
+        assert clock.elapsed() == 0.0
+
+
+class TestLatencyBreakdown:
+    def test_total_sums_components(self):
+        latency = LatencyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert latency.total_seconds == pytest.approx(10.0)
+
+    def test_addition(self):
+        total = LatencyBreakdown.communication(1.0) + LatencyBreakdown.computation(2.0)
+        assert total.communication_seconds == 1.0
+        assert total.computation_seconds == 2.0
+
+    def test_zero_is_identity(self):
+        latency = LatencyBreakdown(1.0, 2.0)
+        assert (latency + LatencyBreakdown.zero()) == latency
+
+    def test_scaled(self):
+        latency = LatencyBreakdown(1.0, 2.0).scaled(2.0)
+        assert latency.communication_seconds == 2.0
+        assert latency.computation_seconds == 4.0
+
+    def test_add_wrong_type_raises(self):
+        with pytest.raises(TypeError):
+            LatencyBreakdown() + 3  # type: ignore[operator]
+
+
+class TestCostBreakdown:
+    def test_total_sums_components(self):
+        cost = CostBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        assert cost.total_dollars == pytest.approx(15.0)
+
+    def test_communication_dollars(self):
+        cost = CostBreakdown(transfer_dollars=0.5, request_dollars=0.25, compute_dollars=9.0)
+        assert cost.communication_dollars == pytest.approx(0.75)
+
+    def test_addition_and_scaling(self):
+        cost = (CostBreakdown(transfer_dollars=1.0) + CostBreakdown(compute_dollars=2.0)).scaled(0.5)
+        assert cost.transfer_dollars == 0.5
+        assert cost.compute_dollars == 1.0
+
+    def test_zero(self):
+        assert CostBreakdown.zero().total_dollars == 0.0
+
+
+class TestOperationResult:
+    def test_merge_keeps_other_value_and_sums_metrics(self):
+        a = OperationResult(value=1, latency=LatencyBreakdown.communication(1.0), cost=CostBreakdown(request_dollars=1.0))
+        b = OperationResult(value=2, latency=LatencyBreakdown.computation(2.0), cost=CostBreakdown(compute_dollars=2.0))
+        merged = a.merge(b)
+        assert merged.value == 2
+        assert merged.latency.total_seconds == pytest.approx(3.0)
+        assert merged.cost.total_dollars == pytest.approx(3.0)
+
+
+def _record(system="flstore", workload="inference", latency=1.0, cost=0.1, hits=1, misses=0, comm=0.5):
+    return RequestRecord(
+        request_id="r",
+        system=system,
+        workload=workload,
+        model_name="resnet18",
+        round_id=0,
+        latency=LatencyBreakdown(communication_seconds=comm, computation_seconds=latency - comm),
+        cost=CostBreakdown(compute_dollars=cost),
+        cache_hits=hits,
+        cache_misses=misses,
+    )
+
+
+class TestMetrics:
+    def test_summarize_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_records([])
+
+    def test_summary_statistics(self):
+        records = [_record(latency=1.0), _record(latency=3.0)]
+        summary = summarize_records(records)
+        assert summary.count == 2
+        assert summary.mean_latency_seconds == pytest.approx(2.0)
+        assert summary.max_latency_seconds == pytest.approx(3.0)
+        assert summary.total_latency_seconds == pytest.approx(4.0)
+        assert summary.total_cost_dollars == pytest.approx(0.2)
+
+    def test_hit_rate(self):
+        records = [_record(hits=3, misses=1), _record(hits=1, misses=3)]
+        assert summarize_records(records).hit_rate == pytest.approx(0.5)
+
+    def test_request_record_hit_rate_with_no_keys(self):
+        assert _record(hits=0, misses=0).hit_rate == 1.0
+
+    def test_communication_fraction(self):
+        summary = summarize_records([_record(latency=2.0, comm=1.5)])
+        assert summary.communication_fraction == pytest.approx(0.75)
+
+    def test_collector_grouping(self):
+        collector = MetricsCollector()
+        collector.record(_record(system="flstore", workload="inference"))
+        collector.record(_record(system="objstore-agg", workload="inference"))
+        collector.record(_record(system="objstore-agg", workload="clustering"))
+        assert len(collector) == 3
+        assert set(collector.by_system()) == {"flstore", "objstore-agg"}
+        assert set(collector.by_workload()) == {"inference", "clustering"}
+        assert ("objstore-agg", "clustering") in collector.by_system_and_workload()
+        assert set(collector.by_model()) == {"resnet18"}
+
+    def test_collector_clear_and_extend(self):
+        collector = MetricsCollector()
+        collector.extend([_record(), _record()])
+        assert len(collector) == 2
+        collector.clear()
+        assert len(collector) == 0

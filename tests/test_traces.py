@@ -1,0 +1,111 @@
+"""Request trace generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fl.catalog import RoundCatalog
+from repro.traces.generator import RequestTraceGenerator
+from repro.workloads.registry import EVALUATION_WORKLOADS
+
+
+class TestWorkloadTraces:
+    def test_p2_trace_walks_rounds_in_order(self, flstore, trace_generator):
+        trace = trace_generator.workload_trace("malicious_filtering", 5)
+        assert [r.round_id for r in trace] == [0, 1, 2, 3, 4]
+        assert all(r.workload == "malicious_filtering" for r in trace)
+
+    def test_p2_trace_wraps_around(self, flstore, trace_generator):
+        total_rounds = len(flstore.catalog)
+        trace = trace_generator.workload_trace("clustering", total_rounds + 2)
+        assert trace[-1].round_id == trace[1].round_id
+
+    def test_p1_trace_targets_latest_round(self, flstore, trace_generator):
+        trace = trace_generator.workload_trace("inference", 4)
+        assert {r.round_id for r in trace} == {flstore.catalog.latest_round}
+
+    def test_p3_trace_follows_single_client(self, flstore, trace_generator):
+        trace = trace_generator.workload_trace("debugging", 4)
+        clients = {r.client_id for r in trace}
+        assert len(clients) == 1
+        client = clients.pop()
+        assert all(client in flstore.catalog.participants(r.round_id) for r in trace)
+
+    def test_p3_trace_respects_requested_client(self, flstore, trace_generator):
+        client = flstore.catalog.participants(3)[0]
+        trace = trace_generator.workload_trace("debugging", 2, client_id=client)
+        assert all(r.client_id == client for r in trace)
+
+    def test_p4_trace_targets_recent_rounds(self, flstore):
+        generator = RequestTraceGenerator(flstore.catalog, seed=1, recent_rounds=3)
+        trace = generator.workload_trace("scheduling_perf", 6)
+        recent = set(flstore.catalog.recent_rounds(3))
+        assert {r.round_id for r in trace} <= recent
+
+    def test_history_rounds_and_params_propagate(self, trace_generator):
+        trace = trace_generator.workload_trace(
+            "debugging", 2, history_rounds=1, recent_rounds=5
+        )
+        assert all(r.history_rounds == 1 for r in trace)
+        assert all(r.params["recent_rounds"] == 5 for r in trace)
+
+    def test_request_ids_are_unique(self, trace_generator):
+        trace = trace_generator.workload_trace("clustering", 10)
+        assert len({r.request_id for r in trace}) == 10
+
+    def test_start_round_honoured(self, trace_generator):
+        trace = trace_generator.workload_trace("clustering", 3, start_round=4)
+        assert trace[0].round_id == 4
+
+    def test_empty_catalog_rejected(self):
+        generator = RequestTraceGenerator(RoundCatalog(), seed=1)
+        with pytest.raises(ValueError):
+            generator.workload_trace("clustering", 3)
+
+    def test_negative_count_rejected(self, trace_generator):
+        with pytest.raises(ValueError):
+            trace_generator.workload_trace("clustering", -1)
+
+    def test_zero_requests_allowed(self, trace_generator):
+        assert trace_generator.workload_trace("clustering", 0) == []
+
+
+class TestMixedTraces:
+    def test_mixed_trace_length_and_composition(self, trace_generator):
+        trace = trace_generator.mixed_trace(list(EVALUATION_WORKLOADS[:4]), 40)
+        assert len(trace) == 40
+        assert {r.workload for r in trace} <= set(EVALUATION_WORKLOADS[:4])
+        assert len({r.workload for r in trace}) >= 2
+
+    def test_weights_bias_composition(self, flstore):
+        generator = RequestTraceGenerator(flstore.catalog, seed=5)
+        trace = generator.mixed_trace(["inference", "clustering"], 60, weights=[0.9, 0.1])
+        inference_count = sum(1 for r in trace if r.workload == "inference")
+        assert inference_count > 40
+
+    def test_weight_length_mismatch(self, trace_generator):
+        with pytest.raises(ValueError):
+            trace_generator.mixed_trace(["inference"], 5, weights=[0.5, 0.5])
+
+    def test_empty_workloads_rejected(self, trace_generator):
+        with pytest.raises(ValueError):
+            trace_generator.mixed_trace([], 5)
+
+
+class TestTraceStats:
+    def test_stats_summarize_trace(self, trace_generator):
+        trace = trace_generator.workload_trace("clustering", 5)
+        stats = RequestTraceGenerator.stats(trace)
+        assert stats.num_requests == 5
+        assert stats.workloads == ("clustering",)
+        assert stats.first_round == 0
+
+    def test_stats_on_empty_trace(self):
+        stats = RequestTraceGenerator.stats([])
+        assert stats.num_requests == 0
+        assert stats.first_round == -1
+
+    def test_most_active_client_is_deterministic(self, flstore):
+        a = RequestTraceGenerator(flstore.catalog, seed=1).most_active_client()
+        b = RequestTraceGenerator(flstore.catalog, seed=2).most_active_client()
+        assert a == b

@@ -1,0 +1,44 @@
+"""Unit conversions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import units
+
+
+def test_constants_are_powers_of_1024():
+    assert units.MB == 1024 * units.KB
+    assert units.GB == 1024 * units.MB
+    assert units.TB == 1024 * units.GB
+
+
+def test_mb_to_bytes_round_trip():
+    assert units.bytes_to_mb(units.mb_to_bytes(82.7)) == pytest.approx(82.7, rel=1e-6)
+
+
+def test_gb_to_bytes_round_trip():
+    assert units.bytes_to_gb(units.gb_to_bytes(10)) == pytest.approx(10.0)
+
+
+def test_bytes_to_tb():
+    assert units.bytes_to_tb(units.TB) == pytest.approx(1.0)
+
+
+def test_seconds_to_hours():
+    assert units.seconds_to_hours(7200) == pytest.approx(2.0)
+    assert units.hours_to_seconds(0.5) == pytest.approx(1800.0)
+
+
+def test_per_month_to_per_second():
+    per_second = units.per_month_to_per_second(30.0 * 86400.0)
+    assert per_second == pytest.approx(1.0)
+
+
+def test_per_hour_to_per_second():
+    assert units.per_hour_to_per_second(3600.0) == pytest.approx(1.0)
+
+
+def test_mb_to_bytes_rounds_to_int():
+    assert isinstance(units.mb_to_bytes(1.5), int)
+    assert units.mb_to_bytes(1.5) == units.MB + units.MB // 2
