@@ -1,0 +1,32 @@
+"""Serve hot-path microbenchmark — writes the ``BENCH_serve.json`` perf record.
+
+Unlike the figure benchmarks (which regenerate the paper's tables), this one
+profiles the serving engine itself: requests/sec and p50/p99 request wall
+time over a mixed workload trace, plus the setup-cache hit counters.  The
+JSON output is the perf trajectory record compared across PRs (see
+EXPERIMENTS.md).
+"""
+
+from repro.analysis.perf import measure_serve_hotpath, write_bench_json
+
+
+def test_serve_hotpath(benchmark):
+    report = benchmark.pedantic(
+        lambda: measure_serve_hotpath(num_rounds=15, requests_per_workload=25),
+        rounds=1,
+        iterations=1,
+    )
+    path = write_bench_json(report)
+    print()
+    print(f"wrote {path}")
+    print(
+        f"serve hot path: {report.requests} requests in {report.wall_seconds:.3f}s "
+        f"({report.requests_per_second:.0f} req/s, p50 {report.p50_request_seconds * 1e6:.0f}us, "
+        f"p99 {report.p99_request_seconds * 1e6:.0f}us)"
+    )
+    assert report.requests == 150
+    assert report.requests_per_second > 0
+    # The serve hot path must stay comfortably in the sub-millisecond-per-
+    # request regime on any modern machine; this is a regression tripwire,
+    # not a tight bound.
+    assert report.p50_request_seconds < 0.05

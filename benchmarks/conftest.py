@@ -16,7 +16,12 @@ from typing import Any, Callable, Mapping, Sequence
 
 import pytest
 
+from repro.analysis.perf import tune_gc
 from repro.analysis.tables import format_table
+
+# The benchmark process accumulates large immutable setup-cache masters;
+# default GC thresholds rescan them constantly (see repro.analysis.perf).
+tune_gc()
 
 
 def run_and_report(

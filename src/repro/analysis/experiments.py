@@ -20,8 +20,9 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.analysis import setup_cache
 from repro.analysis.comparison import percent_reduction
-from repro.analysis.runner import prepare_setup, run_trace
+from repro.analysis.runner import map_tasks, prepare_setup, run_trace
 from repro.config import SimulationConfig
 from repro.core.flstore import build_default_flstore
 from repro.fl.models import EVALUATION_MODELS
@@ -39,6 +40,29 @@ DEFAULT_NUM_ROUNDS = 25
 #: Default number of requests per workload in comparison traces.
 DEFAULT_REQUESTS_PER_WORKLOAD = 15
 
+#: Memoized trace summaries: several figures derive different rows from the
+#: same deterministic (model, workloads, systems, trace) serve — e.g. the
+#: per-request and accumulated latency/cost figures (7/15 and 8/16) — so the
+#: expensive serving pass is shared.  Keys fully determine the results; the
+#: cache obeys the :mod:`repro.analysis.setup_cache` enable switch.
+_summary_cache: dict[tuple, dict] = {}
+
+
+def _summaries_memo(key: tuple, compute) -> dict:
+    """Serve-trace summary memo (returns the cached mapping; treat as read-only)."""
+    if not setup_cache.enabled():
+        return compute()
+    cached = _summary_cache.get(key)
+    if cached is None:
+        cached = compute()
+        _summary_cache[key] = cached
+    return cached
+
+
+def clear_summary_cache() -> None:
+    """Drop every memoized trace summary (used by perf A/B measurements)."""
+    _summary_cache.clear()
+
 
 def _experiment_config(model_name: str, seed: int = 7) -> SimulationConfig:
     """The paper's evaluation configuration, with a small reduced-weight dimension."""
@@ -55,14 +79,96 @@ def compare_systems_on_workloads(
     seed: int = 7,
 ) -> dict[tuple[str, str], MetricSummary]:
     """Serve identical traces on every system; return (system, workload) summaries."""
-    config = _experiment_config(model_name, seed=seed)
-    setup = prepare_setup(config, num_rounds=num_rounds, systems=systems, policy_mode=policy_mode)
-    collector = MetricsCollector()
-    for workload_name in workloads:
-        trace = setup.generator.workload_trace(workload_name, requests_per_workload)
-        for system_name, system in setup.systems.items():
-            run_trace(system, trace, system_name=system_name, model_name=model_name, collector=collector)
-    return collector.by_system_and_workload()
+
+    def compute() -> dict[tuple[str, str], MetricSummary]:
+        config = _experiment_config(model_name, seed=seed)
+        setup = prepare_setup(config, num_rounds=num_rounds, systems=systems, policy_mode=policy_mode)
+        collector = MetricsCollector()
+        for workload_name in workloads:
+            trace = setup.generator.workload_trace(workload_name, requests_per_workload)
+            for system_name, system in setup.systems.items():
+                run_trace(system, trace, system_name=system_name, model_name=model_name, collector=collector)
+        return collector.by_system_and_workload()
+
+    key = (
+        "compare",
+        model_name,
+        tuple(workloads),
+        tuple(systems),
+        num_rounds,
+        requests_per_workload,
+        policy_mode,
+        seed,
+    )
+    return _summaries_memo(key, compute)
+
+
+def _single_system_summaries(
+    model_name: str,
+    workloads: Sequence[str],
+    system: str,
+    num_rounds: int,
+    requests_per_workload: int,
+    seed: int,
+) -> dict[str, MetricSummary]:
+    """Per-workload summaries of one system serving its trace (memoized).
+
+    The workloads are served sequentially on one system instance, exactly the
+    order the share/breakdown figures use, so cached summaries are identical
+    to what each figure would have measured on its own.
+    """
+
+    def compute() -> dict[str, MetricSummary]:
+        config = _experiment_config(model_name, seed=seed)
+        setup = prepare_setup(config, num_rounds=num_rounds, systems=(system,))
+        summaries: dict[str, MetricSummary] = {}
+        for workload_name in workloads:
+            trace = setup.generator.workload_trace(workload_name, requests_per_workload)
+            records = run_trace(
+                setup.systems[system], trace, system_name=system, model_name=model_name
+            )
+            summaries[workload_name] = summarize_records(records)
+        return summaries
+
+    key = ("single", model_name, tuple(workloads), system, num_rounds, requests_per_workload, seed)
+    return _summaries_memo(key, compute)
+
+
+def _compare_task(kwargs: dict) -> dict[tuple[str, str], MetricSummary]:
+    """Picklable task wrapper for one model's system comparison.
+
+    Used by the per-model figures through :func:`repro.analysis.runner.map_tasks`;
+    each parallel worker computes one model's summaries independently.
+    """
+    return compare_systems_on_workloads(**kwargs)
+
+
+def _compare_per_model(
+    models: Sequence[str],
+    workloads: Sequence[str],
+    systems: Sequence[str],
+    num_rounds: int,
+    requests_per_workload: int,
+    seed: int,
+    workers: int | None,
+) -> list[dict[tuple[str, str], MetricSummary]]:
+    """Summaries for every model, optionally across parallel workers.
+
+    Results come back in ``models`` order, so parallel runs produce the same
+    rows as serial ones.
+    """
+    tasks = [
+        {
+            "model_name": model_name,
+            "workloads": tuple(workloads),
+            "systems": tuple(systems),
+            "num_rounds": num_rounds,
+            "requests_per_workload": requests_per_workload,
+            "seed": seed,
+        }
+        for model_name in models
+    ]
+    return map_tasks(_compare_task, tasks, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -76,13 +182,17 @@ def _training_round_profile(setup) -> tuple[float, float]:
     (synchronous FL); the round cost is the aggregator instance occupied for
     that duration plus the metadata upload requests.
     """
+    return _training_profile(setup.config, setup.rounds)
+
+
+def _training_profile(config: SimulationConfig, rounds) -> tuple[float, float]:
+    """Training latency/cost profile from the simulated rounds directly."""
     durations = []
-    for record in setup.rounds:
+    for record in rounds:
         slowest = max(meta.round_duration_seconds for meta in record.metadata.values())
         durations.append(slowest)
     mean_duration = float(np.mean(durations))
-    pricing = setup.config.pricing
-    training_cost = mean_duration / 3600.0 * pricing.aggregator_cost_per_hour
+    training_cost = mean_duration / 3600.0 * config.pricing.aggregator_cost_per_hour
     return mean_duration, training_cost
 
 
@@ -95,13 +205,13 @@ def run_figure1_latency_share(
 ) -> list[dict]:
     """Figure 1: fraction of per-round FL latency spent in each non-training workload."""
     config = _experiment_config(model_name, seed=seed)
-    setup = prepare_setup(config, num_rounds=num_rounds, systems=("objstore-agg",))
-    training_seconds, _ = _training_round_profile(setup)
+    training_seconds, _ = _training_profile(config, setup_cache.simulate_rounds(config, num_rounds))
+    summaries = _single_system_summaries(
+        model_name, workloads, "objstore-agg", num_rounds, requests_per_workload, seed
+    )
     rows = []
     for workload_name in workloads:
-        trace = setup.generator.workload_trace(workload_name, requests_per_workload)
-        records = run_trace(setup.objstore_agg, trace, system_name="objstore-agg", model_name=model_name)
-        non_training = summarize_records(records).mean_latency_seconds
+        non_training = summaries[workload_name].mean_latency_seconds
         total = training_seconds + non_training
         rows.append(
             {
@@ -124,13 +234,13 @@ def run_figure2_cost_share(
 ) -> list[dict]:
     """Figure 2: fraction of per-round FL cost attributable to each non-training workload."""
     config = _experiment_config(model_name, seed=seed)
-    setup = prepare_setup(config, num_rounds=num_rounds, systems=("objstore-agg",))
-    _, training_cost = _training_round_profile(setup)
+    _, training_cost = _training_profile(config, setup_cache.simulate_rounds(config, num_rounds))
+    summaries = _single_system_summaries(
+        model_name, workloads, "objstore-agg", num_rounds, requests_per_workload, seed
+    )
     rows = []
     for workload_name in workloads:
-        trace = setup.generator.workload_trace(workload_name, requests_per_workload)
-        records = run_trace(setup.objstore_agg, trace, system_name="objstore-agg", model_name=model_name)
-        non_training = summarize_records(records).mean_cost_dollars
+        non_training = summaries[workload_name].mean_cost_dollars
         total = training_cost + non_training
         rows.append(
             {
@@ -168,12 +278,11 @@ def run_figure4_comm_vs_comp(
     """
     rows = []
     for model_name in models:
-        config = _experiment_config(model_name, seed=seed)
-        setup = prepare_setup(config, num_rounds=num_rounds, systems=("objstore-agg",))
+        summaries = _single_system_summaries(
+            model_name, workloads, "objstore-agg", num_rounds, requests_per_workload, seed
+        )
         for workload_name in workloads:
-            trace = setup.generator.workload_trace(workload_name, requests_per_workload)
-            records = run_trace(setup.objstore_agg, trace, system_name="objstore-agg", model_name=model_name)
-            summary = summarize_records(records)
+            summary = summaries[workload_name]
             rows.append(
                 {
                     "model": model_name,
@@ -202,18 +311,14 @@ def run_figure7_latency_vs_objstore(
     num_rounds: int = DEFAULT_NUM_ROUNDS,
     requests_per_workload: int = DEFAULT_REQUESTS_PER_WORKLOAD,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Figure 7: per-request latency of FLStore vs ObjStore-Agg per model and workload."""
+    per_model = _compare_per_model(
+        models, workloads, ("flstore", "objstore-agg"), num_rounds, requests_per_workload, seed, workers
+    )
     rows = []
-    for model_name in models:
-        summaries = compare_systems_on_workloads(
-            model_name,
-            workloads,
-            systems=("flstore", "objstore-agg"),
-            num_rounds=num_rounds,
-            requests_per_workload=requests_per_workload,
-            seed=seed,
-        )
+    for model_name, summaries in zip(models, per_model):
         for workload_name in workloads:
             flstore = summaries[("flstore", workload_name)]
             baseline = summaries[("objstore-agg", workload_name)]
@@ -239,18 +344,14 @@ def run_figure8_cost_vs_objstore(
     num_rounds: int = DEFAULT_NUM_ROUNDS,
     requests_per_workload: int = DEFAULT_REQUESTS_PER_WORKLOAD,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Figure 8: per-request cost of FLStore vs ObjStore-Agg per model and workload."""
+    per_model = _compare_per_model(
+        models, workloads, ("flstore", "objstore-agg"), num_rounds, requests_per_workload, seed, workers
+    )
     rows = []
-    for model_name in models:
-        summaries = compare_systems_on_workloads(
-            model_name,
-            workloads,
-            systems=("flstore", "objstore-agg"),
-            num_rounds=num_rounds,
-            requests_per_workload=requests_per_workload,
-            seed=seed,
-        )
+    for model_name, summaries in zip(models, per_model):
         for workload_name in workloads:
             flstore = summaries[("flstore", workload_name)]
             baseline = summaries[("objstore-agg", workload_name)]
@@ -349,6 +450,35 @@ def run_figure10_overall_cost(
 # Figure 11 — FLStore vs traditional caching policies inside FLStore
 # ---------------------------------------------------------------------------
 
+def _policy_variant_task(kwargs: dict) -> dict:
+    """One (policy variant, workload) measurement on a fresh FLStore.
+
+    Each pair gets a fresh FLStore so the comparison matches the paper's
+    per-application measurement and reactive policies cannot piggy-back on
+    data another workload's trace already pulled in.  Module-level so the
+    parallel runner can pickle it.
+    """
+    config = _experiment_config(kwargs["model_name"], seed=kwargs["seed"])
+    setup = prepare_setup(
+        config,
+        num_rounds=kwargs["num_rounds"],
+        systems=("flstore",),
+        policy_mode=kwargs["mode"],
+    )
+    trace = setup.generator.workload_trace(kwargs["workload_name"], kwargs["requests_per_workload"])
+    records = run_trace(
+        setup.flstore, trace, system_name=kwargs["variant_name"], model_name=kwargs["model_name"]
+    )
+    summary = summarize_records(records)
+    return {
+        "variant": kwargs["variant_name"],
+        "workload": WORKLOAD_DISPLAY_NAMES[kwargs["workload_name"]],
+        "mean_latency_seconds": summary.mean_latency_seconds,
+        "mean_cost_dollars": summary.mean_cost_dollars,
+        "hit_rate": summary.hit_rate,
+    }
+
+
 def run_figure11_policy_comparison(
     model_name: str = "efficientnet_v2_small",
     workloads: Sequence[str] = EVALUATION_WORKLOADS,
@@ -356,6 +486,7 @@ def run_figure11_policy_comparison(
     num_rounds: int = DEFAULT_NUM_ROUNDS,
     requests_per_workload: int = DEFAULT_REQUESTS_PER_WORKLOAD,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Figure 11: per-request latency/cost of FLStore under different caching policies."""
     if policy_modes is None:
@@ -366,40 +497,81 @@ def run_figure11_policy_comparison(
             "FLStore-FIFO": "fifo",
             "FLStore-Random": "random-policy",
         }
-    rows = []
-    for variant_name, mode in policy_modes.items():
-        for workload_name in workloads:
-            # Each (variant, workload) pair gets a fresh FLStore so the
-            # comparison matches the paper's per-application measurement and
-            # reactive policies cannot piggy-back on data another workload's
-            # trace already pulled in.
-            config = _experiment_config(model_name, seed=seed)
-            setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",), policy_mode=mode)
-            trace = setup.generator.workload_trace(workload_name, requests_per_workload)
-            records = run_trace(
-                setup.flstore, trace, system_name=variant_name, model_name=model_name
-            )
-            summary = summarize_records(records)
-            rows.append(
-                {
-                    "variant": variant_name,
-                    "workload": WORKLOAD_DISPLAY_NAMES[workload_name],
-                    "mean_latency_seconds": summary.mean_latency_seconds,
-                    "mean_cost_dollars": summary.mean_cost_dollars,
-                    "hit_rate": summary.hit_rate,
-                }
-            )
-    return rows
+    tasks = [
+        {
+            "model_name": model_name,
+            "variant_name": variant_name,
+            "mode": mode,
+            "workload_name": workload_name,
+            "num_rounds": num_rounds,
+            "requests_per_workload": requests_per_workload,
+            "seed": seed,
+        }
+        for variant_name, mode in policy_modes.items()
+        for workload_name in workloads
+    ]
+    return map_tasks(_policy_variant_task, tasks, workers)
 
 
 # ---------------------------------------------------------------------------
 # Table 2 — cache-policy hit rates
 # ---------------------------------------------------------------------------
 
+def _table2_task(kwargs: dict) -> dict:
+    """One (taxonomy group, policy) hit-rate measurement (picklable task)."""
+    import dataclasses
+
+    model_name = kwargs["model_name"]
+    num_rounds = kwargs["num_rounds"]
+    seed = kwargs["seed"]
+    group = kwargs["group"]
+    policy_label = kwargs["policy_label"]
+    mode = kwargs["mode"]
+
+    # A smaller client pool (50) keeps the traced client's across-round
+    # trajectory long enough for the P3 group, and the metadata window
+    # covers every ingested round so the P4 pattern is fully cacheable
+    # (the paper's R is tunable).
+    config = _experiment_config(model_name, seed=seed).with_job(total_clients=50)
+    config = dataclasses.replace(
+        config,
+        cache_policy=dataclasses.replace(config.cache_policy, metadata_recent_rounds=num_rounds),
+    )
+    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",), policy_mode=mode)
+    generator = RequestTraceGenerator(setup.flstore.catalog, seed=seed, recent_rounds=num_rounds)
+    if group == "P2":
+        workload_name = "clustering"
+        trace = generator.workload_trace(workload_name, num_rounds)
+    elif group == "P3":
+        workload_name = "debugging"
+        client_id = generator.most_active_client()
+        client_rounds = setup.flstore.catalog.rounds_for_client(client_id)
+        trace = generator.workload_trace(
+            workload_name, len(client_rounds), client_id=client_id, history_rounds=1
+        )
+    else:
+        workload_name = "scheduling_perf"
+        trace = generator.workload_trace(workload_name, num_rounds, recent_rounds=1)
+    records = run_trace(setup.flstore, trace, system_name=policy_label, model_name=model_name)
+    hits = sum(r.cache_hits for r in records)
+    misses = sum(r.cache_misses for r in records)
+    total = hits + misses
+    return {
+        "group": group,
+        "workload": WORKLOAD_DISPLAY_NAMES[workload_name],
+        "policy": f"FLStore ({group})" if policy_label == "FLStore" else policy_label,
+        "hits": hits,
+        "misses": misses,
+        "total": total,
+        "hit_rate": hits / total if total else 1.0,
+    }
+
+
 def run_table2_hit_rates(
     model_name: str = "efficientnet_v2_small",
     num_rounds: int = 40,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Table 2: hit/miss counts of FLStore's tailored policies vs FIFO/LFU/LRU.
 
@@ -417,8 +589,6 @@ def run_table2_hit_rates(
     (≈0.98-1.0 for FLStore vs ≈0 for the traditional policies) is the result
     under test.
     """
-    import dataclasses
-
     policies = {
         "FLStore": "tailored",
         "FIFO": "fifo",
@@ -426,53 +596,19 @@ def run_table2_hit_rates(
         "LRU": "lru",
     }
     groups = ("P2", "P3", "P4")
-    rows = []
-    for group in groups:
-        for policy_label, mode in policies.items():
-            # A smaller client pool (50) keeps the traced client's across-round
-            # trajectory long enough for the P3 group, and the metadata window
-            # covers every ingested round so the P4 pattern is fully cacheable
-            # (the paper's R is tunable).
-            config = _experiment_config(model_name, seed=seed).with_job(total_clients=50)
-            config = dataclasses.replace(
-                config,
-                cache_policy=dataclasses.replace(
-                    config.cache_policy, metadata_recent_rounds=num_rounds
-                ),
-            )
-            setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",), policy_mode=mode)
-            generator = RequestTraceGenerator(
-                setup.flstore.catalog, seed=seed, recent_rounds=num_rounds
-            )
-            if group == "P2":
-                workload_name = "clustering"
-                trace = generator.workload_trace(workload_name, num_rounds)
-            elif group == "P3":
-                workload_name = "debugging"
-                client_id = generator.most_active_client()
-                client_rounds = setup.flstore.catalog.rounds_for_client(client_id)
-                trace = generator.workload_trace(
-                    workload_name, len(client_rounds), client_id=client_id, history_rounds=1
-                )
-            else:
-                workload_name = "scheduling_perf"
-                trace = generator.workload_trace(workload_name, num_rounds, recent_rounds=1)
-            records = run_trace(setup.flstore, trace, system_name=policy_label, model_name=model_name)
-            hits = sum(r.cache_hits for r in records)
-            misses = sum(r.cache_misses for r in records)
-            total = hits + misses
-            rows.append(
-                {
-                    "group": group,
-                    "workload": WORKLOAD_DISPLAY_NAMES[workload_name],
-                    "policy": f"FLStore ({group})" if policy_label == "FLStore" else policy_label,
-                    "hits": hits,
-                    "misses": misses,
-                    "total": total,
-                    "hit_rate": hits / total if total else 1.0,
-                }
-            )
-    return rows
+    tasks = [
+        {
+            "model_name": model_name,
+            "num_rounds": num_rounds,
+            "seed": seed,
+            "group": group,
+            "policy_label": policy_label,
+            "mode": mode,
+        }
+        for group in groups
+        for policy_label, mode in policies.items()
+    ]
+    return map_tasks(_table2_task, tasks, workers)
 
 
 # ---------------------------------------------------------------------------
@@ -485,18 +621,14 @@ def run_figure15_total_time_breakup(
     num_rounds: int = DEFAULT_NUM_ROUNDS,
     requests_per_workload: int = DEFAULT_REQUESTS_PER_WORKLOAD,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Figure 15: accumulated communication/computation hours, FLStore vs ObjStore-Agg."""
+    per_model = _compare_per_model(
+        models, workloads, ("flstore", "objstore-agg"), num_rounds, requests_per_workload, seed, workers
+    )
     rows = []
-    for model_name in models:
-        summaries = compare_systems_on_workloads(
-            model_name,
-            workloads,
-            systems=("flstore", "objstore-agg"),
-            num_rounds=num_rounds,
-            requests_per_workload=requests_per_workload,
-            seed=seed,
-        )
+    for model_name, summaries in zip(models, per_model):
         for workload_name in workloads:
             flstore = summaries[("flstore", workload_name)]
             baseline = summaries[("objstore-agg", workload_name)]
@@ -522,18 +654,14 @@ def run_figure16_total_cost_breakup(
     num_rounds: int = DEFAULT_NUM_ROUNDS,
     requests_per_workload: int = DEFAULT_REQUESTS_PER_WORKLOAD,
     seed: int = 7,
+    workers: int | None = None,
 ) -> list[dict]:
     """Figure 16: accumulated cost breakup (communication vs computation) vs ObjStore-Agg."""
+    per_model = _compare_per_model(
+        models, workloads, ("flstore", "objstore-agg"), num_rounds, requests_per_workload, seed, workers
+    )
     rows = []
-    for model_name in models:
-        summaries = compare_systems_on_workloads(
-            model_name,
-            workloads,
-            systems=("flstore", "objstore-agg"),
-            num_rounds=num_rounds,
-            requests_per_workload=requests_per_workload,
-            seed=seed,
-        )
+    for model_name, summaries in zip(models, per_model):
         for workload_name in workloads:
             flstore = summaries[("flstore", workload_name)]
             baseline = summaries[("objstore-agg", workload_name)]

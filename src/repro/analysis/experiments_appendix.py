@@ -262,14 +262,17 @@ def run_section55_component_overhead(request_counts: Sequence[int] = (1000, 1000
         store = ObjectStore(topology.objstore, cost_model)
         engine = CacheEngine(make_policy_bundle("tailored"), cluster, store)
 
+        function_ids = [f"fn-{i:04d}" for i in range(32)]
+        request_ids = [f"req-{index}" for index in range(count)]
         for index in range(count):
-            tracker.submit(f"req-{index}", [f"fn-{index % 32:04d}"])
-            engine.register_location(DataKey.update(index % 1000, index // 1000), f"fn-{index % 32:04d}")
+            function_id = function_ids[index % 32]
+            tracker.submit(request_ids[index], [function_id])
+            engine.register_location(DataKey.update(index % 1000, index // 1000), function_id)
 
         start = time.perf_counter()
         probe_count = min(count, 1000)
         for index in range(probe_count):
-            tracker.get(f"req-{index}")
+            tracker.get(request_ids[index])
             engine.location_of(DataKey.update(index % 1000, index // 1000))
         elapsed_ms = (time.perf_counter() - start) * 1000.0 / probe_count
 

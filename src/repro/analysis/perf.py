@@ -1,0 +1,130 @@
+"""Serve hot-path performance measurement and reporting.
+
+This module gives the repository a durable performance record: the
+``bench_serve_hotpath`` microbenchmark calls :func:`measure_serve_hotpath`
+and writes the result to ``BENCH_serve.json`` (requests/sec, p50/p99 request
+wall time, setup-cache hit counters), so every PR can compare its serve
+throughput against the previous one (see EXPERIMENTS.md).
+
+It also provides :func:`tune_gc`: experiment processes accumulate large,
+effectively immutable object graphs (setup-cache masters, interned keys,
+simulated rounds), which Python's generational GC rescans on every gen-2
+collection.  Raising the collection thresholds — the standard tuning for
+allocation-heavy batch jobs — removes that overhead without changing any
+result.  The CLI and the benchmark harness both apply it.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Sequence
+
+from repro.analysis import setup_cache
+from repro.analysis.runner import prepare_setup
+from repro.config import SimulationConfig
+
+#: GC thresholds for experiment processes (default CPython is (700, 10, 10),
+#: which rescans the setup caches' object graphs constantly).
+_GC_THRESHOLDS = (200_000, 100, 100)
+
+
+def tune_gc() -> None:
+    """Raise GC thresholds for allocation-heavy experiment runs (idempotent)."""
+    gc.set_threshold(*_GC_THRESHOLDS)
+
+
+@dataclass
+class ServePerfReport:
+    """Throughput profile of the FLStore serve hot path."""
+
+    requests: int
+    wall_seconds: float
+    requests_per_second: float
+    p50_request_seconds: float
+    p99_request_seconds: float
+    mean_request_seconds: float
+    num_rounds: int
+    seed: int
+    workloads: list[str] = field(default_factory=list)
+    setup_cache_stats: dict[str, int] = field(default_factory=dict)
+    python_version: str = ""
+    platform: str = ""
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, round(fraction * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def measure_serve_hotpath(
+    num_rounds: int = 15,
+    requests_per_workload: int = 25,
+    workloads: Sequence[str] = (
+        "clustering",
+        "inference",
+        "debugging",
+        "scheduling_perf",
+        "cosine_similarity",
+        "malicious_filtering",
+    ),
+    seed: int = 7,
+    model_name: str = "efficientnet_v2_small",
+) -> ServePerfReport:
+    """Serve a mixed trace on a fresh FLStore and profile per-request wall time.
+
+    The setup goes through :func:`repro.analysis.runner.prepare_setup`, so
+    repeated measurements exercise the setup cache exactly like the
+    experiment layer does; the report includes its hit/miss counters.
+    """
+    config = SimulationConfig.paper(model_name=model_name, seed=seed).with_job(reduced_dim=64)
+    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+    flstore = setup.flstore
+
+    timings: list[float] = []
+    total_start = time.perf_counter()
+    for workload_name in workloads:
+        trace = setup.generator.workload_trace(workload_name, requests_per_workload)
+        for request in trace:
+            start = time.perf_counter()
+            flstore.serve(request)
+            timings.append(time.perf_counter() - start)
+    wall = time.perf_counter() - total_start
+
+    timings.sort()
+    count = len(timings)
+    return ServePerfReport(
+        requests=count,
+        wall_seconds=wall,
+        requests_per_second=count / wall if wall > 0 else 0.0,
+        p50_request_seconds=_percentile(timings, 0.50),
+        p99_request_seconds=_percentile(timings, 0.99),
+        mean_request_seconds=sum(timings) / count if count else 0.0,
+        num_rounds=num_rounds,
+        seed=seed,
+        workloads=list(workloads),
+        setup_cache_stats=setup_cache.stats.as_dict(),
+        python_version=sys.version.split()[0],
+        platform=platform.platform(),
+    )
+
+
+def write_bench_json(report: ServePerfReport, path: str = "BENCH_serve.json", extra: dict | None = None) -> str:
+    """Write ``report`` (plus optional ``extra`` context) to ``path``."""
+    payload = report.as_dict()
+    if extra:
+        payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -10,13 +10,22 @@ Every figure/table experiment follows the same skeleton:
 
 :func:`prepare_setup` performs steps 1-2 and :func:`run_trace` performs step 4
 so the per-figure functions in :mod:`repro.analysis.experiments` stay small.
+
+Steps 1-2 are deterministic in their parameters, so :func:`prepare_setup`
+serves them from :mod:`repro.analysis.setup_cache`: simulated rounds are
+memoized per ``(config, num_rounds)`` and fully ingested systems are handed
+out as pristine snapshots, which makes re-running related figures (and the
+benchmark suite) cheap.  :func:`map_tasks` runs independent experiment tasks
+in parallel worker processes when enabled (``repro.cli run --parallel``).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence, TypeVar
 
+from repro.analysis import setup_cache
 from repro.baselines.cache_agg import CacheAggregator
 from repro.baselines.objstore_agg import ObjStoreAggregator
 from repro.config import SimulationConfig
@@ -27,6 +36,43 @@ from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.metrics import MetricsCollector, RequestRecord
 from repro.traces.generator import RequestTraceGenerator
 from repro.workloads.base import WorkloadRequest
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+#: Default worker count for :func:`map_tasks`; 1 means run serially.
+_max_workers = 1
+
+
+def set_max_workers(workers: int) -> None:
+    """Set the default parallelism of :func:`map_tasks` (1 disables it)."""
+    global _max_workers
+    _max_workers = max(1, int(workers))
+
+
+def get_max_workers() -> int:
+    """Current default worker count for :func:`map_tasks`."""
+    return _max_workers
+
+
+def map_tasks(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    workers: int | None = None,
+) -> list[_R]:
+    """Run ``fn`` over ``items``, in parallel processes when workers > 1.
+
+    Results are returned in input order, so a parallel run produces the same
+    rows as a serial one.  ``fn`` must be a module-level callable and the
+    items picklable (experiment tasks take plain config tuples).  Each task
+    is independent — experiments that share mutable state across items must
+    not be parallelised.
+    """
+    effective = _max_workers if workers is None else max(1, int(workers))
+    if effective <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=min(effective, len(items))) as pool:
+        return list(pool.map(fn, items))
 
 #: Systems that :func:`prepare_setup` knows how to build.
 KNOWN_SYSTEMS: tuple[str, ...] = ("flstore", "objstore-agg", "cache-agg")
@@ -66,30 +112,51 @@ def prepare_setup(
     replication_factor: int | None = None,
     fault_injector: ZipfianFaultInjector | None = None,
 ) -> ExperimentSetup:
-    """Simulate an FL job, build the requested systems, and ingest the rounds."""
+    """Simulate an FL job, build the requested systems, and ingest the rounds.
+
+    Simulation and ingestion are memoized through
+    :mod:`repro.analysis.setup_cache`: the simulated rounds are shared across
+    setups with the same config, and the built-and-ingested systems are
+    snapshotted so later calls with the same parameters skip the whole
+    build-and-ingest phase.  A ``fault_injector`` carries mutable sampling
+    state, so setups built around one bypass the snapshot cache.
+    """
     config = config or SimulationConfig()
-    simulator = FLJobSimulator(config)
-    rounds = simulator.run_rounds(num_rounds)
+    simulator, rounds = setup_cache.simulate_job(config, num_rounds)
 
-    built: dict[str, object] = {}
-    for name in systems:
-        if name == "flstore":
-            built[name] = build_default_flstore(
-                config,
-                policy_mode=policy_mode,
-                replication_factor=replication_factor,
-                fault_injector=fault_injector,
-            )
-        elif name == "objstore-agg":
-            built[name] = ObjStoreAggregator(config)
-        elif name == "cache-agg":
-            built[name] = CacheAggregator(config)
-        else:
-            raise ValueError(f"unknown system {name!r}; expected one of {KNOWN_SYSTEMS}")
+    built: dict[str, object] | None = None
+    cache_key = None
+    if fault_injector is None:
+        cache_key = setup_cache.snapshot_key(
+            config, num_rounds, systems, policy_mode, replication_factor
+        )
+        built = setup_cache.get_system_snapshots(cache_key)
 
-    for record in rounds:
-        for system in built.values():
-            system.ingest_round(record)
+    if built is None:
+        built = {}
+        for name in systems:
+            if name == "flstore":
+                built[name] = build_default_flstore(
+                    config,
+                    policy_mode=policy_mode,
+                    replication_factor=replication_factor,
+                    fault_injector=fault_injector,
+                )
+            elif name == "objstore-agg":
+                built[name] = ObjStoreAggregator(config)
+            elif name == "cache-agg":
+                built[name] = CacheAggregator(config)
+            else:
+                raise ValueError(f"unknown system {name!r}; expected one of {KNOWN_SYSTEMS}")
+
+        for record in rounds:
+            for system in built.values():
+                system.ingest_round(record)
+        if cache_key is not None and setup_cache.enabled():
+            # Serialise the freshly ingested systems into the pristine cache
+            # master; the original graph stays with this caller (the master
+            # is immutable bytes, so serving on the original is safe).
+            setup_cache.put_system_snapshots(cache_key, built)
 
     catalog = next(iter(built.values())).catalog if built else None
     generator = RequestTraceGenerator(catalog, seed=config.seed) if catalog is not None else None

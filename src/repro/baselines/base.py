@@ -28,7 +28,12 @@ from repro.fl.rounds import RoundRecord
 from repro.network.costs import TransferCostModel
 from repro.network.model import NetworkTopology
 from repro.simulation.clock import SimClock
-from repro.simulation.records import CostBreakdown, LatencyBreakdown
+from repro.simulation.records import (
+    CostAccumulator,
+    CostBreakdown,
+    LatencyAccumulator,
+    LatencyBreakdown,
+)
 from repro.workloads.base import WorkloadRequest
 from repro.workloads.registry import get_workload
 
@@ -57,6 +62,9 @@ class AggregatorBaseline(abc.ABC):
         self.model_spec: ModelSpec = get_model_spec(self.config.job.model_name)
         self.ingest_cost = CostBreakdown.zero()
         self._request_ids = IdGenerator(prefix="req", width=6)
+        #: Memoized provisioned-cost results (queried once per served
+        #: request with the same duration; see subclass ``provisioned_cost``).
+        self._provisioned_effects: dict[Any, CostBreakdown] = {}
 
     # ----------------------------------------------------------- data plane
 
@@ -82,10 +90,11 @@ class AggregatorBaseline(abc.ABC):
         """Store a training round's metadata in the data plane."""
         self.catalog.register_round(record)
         report = BaselineIngestReport(round_id=record.round_id)
+        upload_cost = CostAccumulator()
         for key, value in record.objects():
-            cost = self._store_object(key, value, payload_size_bytes(value))
-            report.upload_cost = report.upload_cost + cost
+            upload_cost.add(self._store_object(key, value, payload_size_bytes(value)))
             report.stored_keys += 1
+        report.upload_cost = upload_cost.finalize()
         self.ingest_cost = self.ingest_cost + report.upload_cost
         return report
 
@@ -114,16 +123,17 @@ class AggregatorBaseline(abc.ABC):
         workload = get_workload(request.workload)
         required_keys = workload.required_keys(request, self.catalog)
 
-        latency = LatencyBreakdown.communication(self.topology.client.rtt_seconds)
-        cost = CostBreakdown.zero()
+        latency = LatencyAccumulator()
+        latency.add_communication(self.topology.client.rtt_seconds)
+        cost = CostAccumulator()
 
         # GET every required object from the remote data plane (Step 2 of Figure 3).
         data: dict[DataKey, Any] = {}
         misses = 0
         for key in required_keys:
             fetch_latency, fetch_cost, value = self._fetch_object(key)
-            latency = latency + fetch_latency
-            cost = cost + fetch_cost
+            latency.add(fetch_latency)
+            cost.add(fetch_cost)
             if value is None:
                 misses += 1
                 continue
@@ -132,33 +142,33 @@ class AggregatorBaseline(abc.ABC):
         # Execute the workload on the dedicated aggregator instance.
         compute_seconds = workload.compute_seconds(self.model_spec, max(len(required_keys), 1))
         execution = self.instance.execute(compute_seconds)
-        latency = latency + execution.latency
-        cost = cost + execution.cost
+        latency.add(execution.latency)
+        cost.add(execution.cost)
         result = workload.compute(request, data)
 
         # PUT the result back to the data plane (Step 3) and return it (Step 4).
         put_latency, put_cost = self._store_result(("result", request.request_id), result, workload.result_size_bytes)
-        latency = latency + put_latency
-        cost = cost + put_cost
-        latency = latency + LatencyBreakdown.communication(
+        latency.add(put_latency)
+        cost.add(put_cost)
+        latency.add_communication(
             self.topology.client.transfer_seconds(workload.result_size_bytes)
         )
 
         # The dedicated instance is occupied for the whole request, including
         # the time it spends waiting for data to cross the network — this is
         # where the communication bottleneck becomes a dollar cost.
-        cost = cost + self.instance.occupancy_cost(latency.communication_seconds)
+        cost.add(self.instance.occupancy_cost(latency.communication_seconds))
 
         # Per-request share of the always-on compute and data planes.
-        cost = cost + self._provisioned_share()
+        cost.add(self._provisioned_share())
 
         self.clock.advance(latency.total_seconds)
         return ServeResult(
             request_id=request.request_id,
             workload=request.workload,
             result=result,
-            latency=latency,
-            cost=cost,
+            latency=latency.finalize(),
+            cost=cost.finalize(),
             cache_hits=0,
             cache_misses=len(required_keys),
             served_by=[self.instance.name],

@@ -62,5 +62,11 @@ class CacheAggregator(AggregatorBaseline):
         """
         instance = self.instance.idle_cost(duration_hours)
         nodes = max(self.provisioned_nodes_for_job(), self.memory_cache.provisioned_nodes)
-        cache = self.cost_model.cache_node_cost(nodes, duration_hours)
-        return instance + cache
+        # The node count only changes when the stored volume crosses a node
+        # boundary, so the summed cost is memoized per (nodes, duration).
+        cached = self._provisioned_effects.get((nodes, duration_hours))
+        if cached is not None:
+            return cached
+        cost = instance + self.cost_model.cache_node_cost(nodes, duration_hours)
+        self._provisioned_effects[(nodes, duration_hours)] = cost
+        return cost

@@ -45,6 +45,13 @@ class ObjStoreAggregator(AggregatorBaseline):
 
     def provisioned_cost(self, duration_hours: float) -> CostBreakdown:
         """Always-on aggregator instance plus object-store storage of the job's metadata."""
+        # Depends only on the (fixed) job configuration and the duration, so
+        # the per-request share is memoized (one query per served request).
+        cached = self._provisioned_effects.get(duration_hours)
+        if cached is not None:
+            return cached
         instance = self.instance.idle_cost(duration_hours)
         storage = self.cost_model.objstore_storage_cost(self.expected_job_bytes(), duration_hours)
-        return instance + storage
+        cost = instance + storage
+        self._provisioned_effects[duration_hours] = cost
+        return cost

@@ -5,18 +5,23 @@ Usage examples::
     python -m repro.cli list                         # list available experiments
     python -m repro.cli run fig7 --rounds 15         # regenerate Figure 7 and print it
     python -m repro.cli run table2 --out table2.json # save the rows as JSON
+    python -m repro.cli run fig7 --parallel          # fan model sweeps out to worker processes
+    python -m repro.cli run fig11 --workers 4        # explicit worker count
     python -m repro.cli workloads                     # show the workload taxonomy
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Any, Callable
 
 from repro.analysis import experiments as E
 from repro.analysis import experiments_appendix as A
 from repro.analysis.export import export_csv, export_json
+from repro.analysis.perf import tune_gc
+from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
 from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
 
@@ -63,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rounds", type=int, default=None, help="number of ingested training rounds")
     run.add_argument("--seed", type=int, default=None, help="simulation seed")
     run.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
+    run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="serve independent (system, workload) traces in parallel worker processes",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-process count for --parallel (default: CPU count); implies --parallel",
+    )
     return parser
 
 
@@ -92,6 +108,10 @@ def main(argv: list[str] | None = None) -> int:
         ]
         print(format_table(rows, title="Non-training workload taxonomy (Table 1)"))
         return 0
+
+    tune_gc()
+    if args.parallel or args.workers is not None:
+        set_max_workers(args.workers if args.workers is not None else (os.cpu_count() or 1))
 
     result = _run_experiment(args.experiment, args.rounds, args.seed)
     rows = result["rows"] if isinstance(result, dict) and "rows" in result else result

@@ -45,6 +45,10 @@ class DedicatedInstance:
         self._pricing = pricing
         self._relative_speed = relative_speed
         self.stats = InstanceStats()
+        # Workload compute times are discrete (per workload and key count),
+        # so the frozen latency/cost pairs are memoized per duration.
+        self._execute_effects: dict[float, tuple[float, LatencyBreakdown, CostBreakdown]] = {}
+        self._idle_effects: dict[float, CostBreakdown] = {}
 
     def execute(self, compute_seconds: float) -> OperationResult:
         """Run a workload that needs ``compute_seconds`` of reference compute time.
@@ -54,11 +58,16 @@ class DedicatedInstance:
         """
         if compute_seconds < 0:
             raise ValueError("compute_seconds must be non-negative")
-        busy = compute_seconds * self._relative_speed
+        effects = self._execute_effects.get(compute_seconds)
+        if effects is None:
+            busy = compute_seconds * self._relative_speed
+            latency = LatencyBreakdown.computation(busy)
+            cost = CostBreakdown(compute_dollars=busy / 3600.0 * self._pricing.aggregator_cost_per_hour)
+            effects = (busy, latency, cost)
+            self._execute_effects[compute_seconds] = effects
+        busy, latency, cost = effects
         self.stats.executions += 1
         self.stats.busy_seconds += busy
-        latency = LatencyBreakdown.computation(busy)
-        cost = CostBreakdown(compute_dollars=busy / 3600.0 * self._pricing.aggregator_cost_per_hour)
         return OperationResult(value=None, latency=latency, cost=cost)
 
     def occupancy_cost(self, seconds: float) -> CostBreakdown:
@@ -80,9 +89,14 @@ class DedicatedInstance:
         because the aggregator must stay up (and is often kept up long after
         training ends) to answer debugging/auditing requests.
         """
-        return CostBreakdown(
+        effects = self._idle_effects.get(duration_hours)
+        if effects is not None:
+            return effects
+        effects = CostBreakdown(
             provisioned_dollars=duration_hours * self._pricing.aggregator_cost_per_hour
         )
+        self._idle_effects[duration_hours] = effects
+        return effects
 
     @property
     def relative_speed(self) -> float:

@@ -62,17 +62,32 @@ class MemoryCacheService:
         self._min_nodes = max(1, int(min_nodes))
         self._objects: dict[Hashable, _CachedObject] = {}
         self.stats = MemoryCacheStats()
+        # Transfer latency/cost depend only on payload size (sizes repeat
+        # heavily), so the frozen breakdown pairs are memoized per size.
+        self._transfer_effects: dict[int, tuple[LatencyBreakdown, CostBreakdown]] = {}
+        #: Running sum of cached object sizes; keeps ``total_stored_bytes``
+        #: (consulted on every provisioned-cost query) O(1).
+        self._stored_bytes: int = 0
+
+    def _size_effects(self, size: int) -> tuple[LatencyBreakdown, CostBreakdown]:
+        effects = self._transfer_effects.get(size)
+        if effects is None:
+            latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
+            effects = (latency, self._costs.cache_transfer_cost(size))
+            self._transfer_effects[size] = effects
+        return effects
 
     # ------------------------------------------------------------------ API
 
     def put(self, key: Hashable, value: Any, size_bytes: int | None = None) -> OperationResult:
         """Store ``value`` under ``key``; returns upload latency and transfer cost."""
         size = int(size_bytes) if size_bytes is not None else payload_size_bytes(value)
+        existing = self._objects.get(key)
         self._objects[key] = _CachedObject(value=value, size_bytes=size)
+        self._stored_bytes += size - (existing.size_bytes if existing else 0)
         self.stats.puts += 1
         self.stats.bytes_written += size
-        latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
-        cost = self._costs.cache_transfer_cost(size)
+        latency, cost = self._size_effects(size)
         return OperationResult(value=None, latency=latency, cost=cost)
 
     def get(self, key: Hashable) -> OperationResult:
@@ -83,13 +98,14 @@ class MemoryCacheService:
             raise DataNotFoundError(key, self.name)
         self.stats.gets += 1
         self.stats.bytes_read += record.size_bytes
-        latency = LatencyBreakdown.communication(self._link.transfer_seconds(record.size_bytes))
-        cost = self._costs.cache_transfer_cost(record.size_bytes)
+        latency, cost = self._size_effects(record.size_bytes)
         return OperationResult(value=record.value, latency=latency, cost=cost)
 
     def delete(self, key: Hashable) -> OperationResult:
         """Remove ``key`` if present (idempotent)."""
-        self._objects.pop(key, None)
+        record = self._objects.pop(key, None)
+        if record is not None:
+            self._stored_bytes -= record.size_bytes
         return OperationResult(value=None)
 
     def contains(self, key: Hashable) -> bool:
@@ -106,7 +122,7 @@ class MemoryCacheService:
     @property
     def total_stored_bytes(self) -> int:
         """Sum of logical sizes of every cached object."""
-        return sum(obj.size_bytes for obj in self._objects.values())
+        return self._stored_bytes
 
     @property
     def provisioned_nodes(self) -> int:

@@ -63,6 +63,11 @@ class ObjectStore:
         self._costs = cost_model
         self._objects: dict[Hashable, _StoredObject] = {}
         self.stats = ObjectStoreStats()
+        # Latency/cost of an operation depend only on the payload size, and
+        # FL metadata sizes repeat heavily (every update of a model has the
+        # same size), so the frozen breakdown pairs are memoized per size.
+        self._put_effects: dict[int, tuple[LatencyBreakdown, CostBreakdown]] = {}
+        self._get_effects: dict[int, tuple[LatencyBreakdown, CostBreakdown]] = {}
 
     # ------------------------------------------------------------------ API
 
@@ -72,9 +77,12 @@ class ObjectStore:
         self._objects[key] = _StoredObject(value=value, size_bytes=size)
         self.stats.puts += 1
         self.stats.bytes_written += size
-        latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
-        cost = self._costs.objstore_put_cost(size)
-        return OperationResult(value=None, latency=latency, cost=cost)
+        effects = self._put_effects.get(size)
+        if effects is None:
+            latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
+            effects = (latency, self._costs.objstore_put_cost(size))
+            self._put_effects[size] = effects
+        return OperationResult(value=None, latency=effects[0], cost=effects[1])
 
     def get(self, key: Hashable) -> OperationResult:
         """Fetch the object stored under ``key``.
@@ -88,11 +96,15 @@ class ObjectStore:
         if record is None:
             self.stats.missed_gets += 1
             raise DataNotFoundError(key, self.name)
+        size = record.size_bytes
         self.stats.gets += 1
-        self.stats.bytes_read += record.size_bytes
-        latency = LatencyBreakdown.communication(self._link.transfer_seconds(record.size_bytes))
-        cost = self._costs.objstore_get_cost(record.size_bytes)
-        return OperationResult(value=record.value, latency=latency, cost=cost)
+        self.stats.bytes_read += size
+        effects = self._get_effects.get(size)
+        if effects is None:
+            latency = LatencyBreakdown.communication(self._link.transfer_seconds(size))
+            effects = (latency, self._costs.objstore_get_cost(size))
+            self._get_effects[size] = effects
+        return OperationResult(value=record.value, latency=effects[0], cost=effects[1])
 
     def delete(self, key: Hashable) -> OperationResult:
         """Remove ``key`` if present (idempotent, free of charge)."""

@@ -45,12 +45,17 @@ from repro.serverless.faults import ZipfianFaultInjector
 from repro.serverless.platform import ServerlessPlatform
 from repro.simulation.clock import SimClock
 from repro.simulation.metrics import RequestRecord
-from repro.simulation.records import CostBreakdown, LatencyBreakdown
+from repro.simulation.records import (
+    CostAccumulator,
+    CostBreakdown,
+    LatencyAccumulator,
+    LatencyBreakdown,
+)
 from repro.workloads.base import Workload, WorkloadRequest
 from repro.workloads.registry import get_workload
 
 
-@dataclass
+@dataclass(slots=True)
 class ServeResult:
     """Outcome of serving one non-training request."""
 
@@ -160,10 +165,12 @@ class FLStore:
         """Serve one non-training request end to end (Figure 6 workflow)."""
         workload = get_workload(request.workload)
         required_keys = workload.required_keys(request, self.catalog)
-        self.tracker.submit(request.request_id)
+        tracked = self.tracker.submit(request.request_id)
+        routed = tracked.function_ids
 
-        latency = LatencyBreakdown.communication(self.topology.client.rtt_seconds)
-        cost = CostBreakdown.zero()
+        latency = LatencyAccumulator()
+        latency.add_communication(self.topology.client.rtt_seconds)
+        cost = CostAccumulator()
         failovers = 0
 
         # --- optional fault injection (function reclamations) --------------
@@ -175,14 +182,24 @@ class FLStore:
                 self.engine.drop_lost_keys()
 
         # --- resolve and gather required data ------------------------------
+        # One batched resolution pass covers the whole gather loop; admitting
+        # a missed object mutates the cache (and may evict other keys), so
+        # the batch map is only trusted until the first admission, after
+        # which the remaining keys fall back to per-key resolution.
+        resolution = self.cluster.resolve_many(required_keys)
+        resolution_stale = False
         data: dict[DataKey, Any] = {}
         hits = 0
         misses = 0
         miss_fetch_seconds = 0.0
         failed_functions: set[str] = set()
         now = self.clock.now()
+        failover_timeout = self.config.serverless.failover_timeout_seconds
+        get_function = self.platform.get_function
+        record_access = self.policy.record_access
         for key in required_keys:
-            resolved = self.cluster.resolve(key)
+            resolved = self.cluster.resolve(key) if resolution_stale else resolution[key]
+            function_id = resolved.function_id
             if resolved.failed_over:
                 failovers += 1
                 # The failover timeout is paid once per failed primary
@@ -190,36 +207,40 @@ class FLStore:
                 primary = self.cluster.primary_function_of(key) or f"lost:{key}"
                 if primary not in failed_functions:
                     failed_functions.add(primary)
-                    latency = latency + LatencyBreakdown(
-                        queueing_seconds=self.config.serverless.failover_timeout_seconds
-                    )
-            if resolved.is_hit:
+                    latency.add_queueing(failover_timeout)
+            if function_id is not None:
                 hits += 1
-                data[key] = self.platform.get_function(resolved.function_id).load(key)
-                self.policy.record_access(key, hit=True, now=now)
-                self.tracker.add_route(request.request_id, resolved.function_id)
+                data[key] = get_function(function_id).load(key)
+                record_access(key, hit=True, now=now)
+                if function_id not in routed:
+                    routed.append(function_id)
             else:
                 misses += 1
                 fetch_latency, fetch_cost, value = self._fetch_from_persistent(key)
-                latency = latency + fetch_latency
-                cost = cost + fetch_cost
+                latency.add(fetch_latency)
+                cost.add(fetch_cost)
                 miss_fetch_seconds += fetch_latency.total_seconds
-                self.policy.record_access(key, hit=False, now=now)
+                record_access(key, hit=False, now=now)
                 if value is None:
                     continue
                 data[key] = value
                 if self.policy.admit_on_miss:
-                    latency = latency + self.engine.admit(key, value, now=now)
+                    latency.add(self.engine.admit(key, value, now=now))
+                    resolution_stale = True
 
         # --- locality-aware execution on the serverless cache --------------
         compute_seconds = workload.compute_seconds(self.model_spec, max(len(required_keys), 1))
-        execution_function = self.cluster.pick_execution_function(required_keys)
+        execution_function = self.cluster.pick_execution_function(
+            required_keys, resolved=None if resolution_stale else resolution
+        )
         if execution_function is None:
-            execution_function = self._any_warm_function(latency_accumulator=None)
+            execution_function, spawn_latency = self._any_warm_function()
+            latency.add(spawn_latency)
         invoke = self.platform.invoke(execution_function, busy_seconds=compute_seconds)
-        latency = latency + invoke.latency
-        cost = cost + invoke.cost
-        self.tracker.add_route(request.request_id, execution_function)
+        latency.add(invoke.latency)
+        cost.add(invoke.cost)
+        if execution_function not in routed:
+            routed.append(execution_function)
         if miss_fetch_seconds > 0:
             # The executing function is occupied (and billed per GB-second)
             # while it pulls cold objects from the persistent store; the
@@ -228,17 +249,17 @@ class FLStore:
             memory_gb = (
                 self.platform.get_function(execution_function).memory_limit_bytes / (1024**3)
             )
-            cost = cost + self.cost_model.lambda_execution_cost(memory_gb, miss_fetch_seconds)
+            cost.add(self.cost_model.lambda_execution_cost(memory_gb, miss_fetch_seconds))
 
         result = workload.compute(request, data)
 
         # --- return results and persist them --------------------------------
-        latency = latency + LatencyBreakdown.communication(
+        latency.add_communication(
             self.topology.client.transfer_seconds(workload.result_size_bytes)
         )
         result_key = ("result", request.request_id)
         store_result = self.persistent_store.put(result_key, result, size_bytes=workload.result_size_bytes)
-        cost = cost + store_result.cost  # asynchronous: cost counted, latency off the critical path
+        cost.add(store_result.cost)  # asynchronous: cost counted, latency off the critical path
 
         # --- tailored prefetching and eviction ------------------------------
         plan = self.engine.plan_request(request, required_keys)
@@ -249,28 +270,28 @@ class FLStore:
             _, fetch_cost, value = self._fetch_from_persistent(key)
             if value is None:
                 continue
-            cost = cost + fetch_cost  # prefetch is asynchronous: cost only
+            cost.add(fetch_cost)  # prefetch is asynchronous: cost only
             self.engine.admit(key, value, now=self.clock.now())
             prefetched += 1
         evicted = self.engine.apply_evictions(plan.evict_keys)
 
         # --- per-request share of always-on costs ---------------------------
-        cost = cost + self._provisioned_share()
+        cost.add(self._provisioned_share())
 
-        self.tracker.complete(request.request_id)
+        tracked.completed = True
         self.clock.advance(latency.total_seconds)
         return ServeResult(
             request_id=request.request_id,
             workload=request.workload,
             result=result,
-            latency=latency,
-            cost=cost,
+            latency=latency.finalize(),
+            cost=cost.finalize(),
             cache_hits=hits,
             cache_misses=misses,
             failovers=failovers,
             prefetched_keys=prefetched,
             evicted_keys=evicted,
-            served_by=list(self.tracker.get(request.request_id).function_ids),
+            served_by=list(routed),
         )
 
     # ---------------------------------------------------------------- helpers
@@ -283,15 +304,18 @@ class FLStore:
             return LatencyBreakdown.zero(), CostBreakdown.zero(), None
         return result.latency, result.cost, result.value
 
-    def _any_warm_function(self, latency_accumulator: LatencyBreakdown | None) -> str:
-        """Return any warm function, spawning one if the fleet is empty."""
+    def _any_warm_function(self) -> tuple[str, LatencyBreakdown]:
+        """Return any warm function plus the cold-start latency of spawning one.
+
+        The spawn latency is zero when the fleet already has a warm function;
+        otherwise the caller must charge the returned cold-start latency to
+        the request (it used to be silently dropped).
+        """
         warm = self.platform.warm_functions()
         if warm:
-            return warm[0].function_id
+            return warm[0].function_id, LatencyBreakdown.zero()
         function, spawn = self.platform.spawn_function()
-        if latency_accumulator is not None:  # pragma: no cover - defensive
-            latency_accumulator = latency_accumulator + spawn.latency
-        return function.function_id
+        return function.function_id, spawn.latency
 
     def _provisioned_share(self) -> CostBreakdown:
         """Per-request share of FLStore's always-on costs (keep-alive pings)."""

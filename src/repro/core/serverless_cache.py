@@ -5,19 +5,31 @@ into warm serverless functions at client-model granularity (each function
 holds at least one client model, Section 4.2), optionally replicated onto
 ``k`` secondary functions for fault tolerance (Section 4.5), and non-training
 computations execute directly on the functions that hold the data.
+
+Resolution is served from an incrementally maintained *liveness index*:
+placement and eviction update the index directly, and the platform notifies
+the cluster when a function is reclaimed (see
+:meth:`repro.serverless.platform.ServerlessPlatform.add_reclamation_listener`),
+so :meth:`ServerlessCacheCluster.resolve`, :meth:`is_live`, and
+:attr:`total_cached_bytes` are O(1) and reclamation/failover work is
+O(affected keys) instead of O(tracked keys).
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable, Mapping
 
 from repro.common.errors import CapacityError, DataNotFoundError
 from repro.config import ServerlessConfig
 from repro.fl.keys import DataKey
-from repro.serverless.function import ServerlessFunction
+from repro.serverless.function import FunctionState, ServerlessFunction
 from repro.serverless.platform import ServerlessPlatform
-from repro.simulation.records import LatencyBreakdown, OperationResult
+from repro.simulation.records import LatencyBreakdown
+
+#: Module-level alias: avoids an enum descriptor lookup per eviction check.
+_FUNCTION_WARM = FunctionState.WARM
 
 
 @dataclass
@@ -31,7 +43,7 @@ class PlacementResult:
     latency: LatencyBreakdown = field(default_factory=LatencyBreakdown)
 
 
-@dataclass
+@dataclass(slots=True)
 class ResolveResult:
     """Outcome of resolving a key to a live function."""
 
@@ -44,6 +56,16 @@ class ResolveResult:
     def is_hit(self) -> bool:
         """Whether any live copy of the object exists in the cache."""
         return self.function_id is not None
+
+
+#: Shared additive identity: placements that reuse a warm function incur no
+#: latency, so the zero breakdown is handed out as a singleton (it is frozen).
+_ZERO_LATENCY = LatencyBreakdown()
+
+#: Best-fit sort key.  Best-fit keeps the number of warm functions (and thus
+#: keep-alive cost) low, mirroring the paper's "only two Lambda functions"
+#: footprint argument in Section 4.4.
+_free_bytes_of = operator.attrgetter("free_bytes")
 
 
 class ServerlessCacheCluster:
@@ -63,6 +85,19 @@ class ServerlessCacheCluster:
         self._primary: dict[DataKey, str] = {}
         self._replicas: dict[DataKey, list[str]] = {}
         self._sizes: dict[DataKey, int] = {}
+        # ---- liveness index ------------------------------------------------
+        #: Function ids still holding a live copy of each tracked key.
+        self._live_copies: dict[DataKey, set[str]] = {}
+        #: Currently serving function per tracked key (primary while it lives,
+        #: else the first live replica in placement order, else ``None``).
+        self._holder: dict[DataKey, str | None] = {}
+        #: Reverse map: function id -> keys with a live copy on it.
+        self._function_keys: dict[str, set[DataKey]] = {}
+        #: Keys whose every copy was lost (in loss order), pending drop.
+        self._lost: dict[DataKey, None] = {}
+        #: Running sum of ``self._sizes`` values.
+        self._tracked_bytes: int = 0
+        platform.add_reclamation_listener(self._on_function_reclaimed)
 
     # ------------------------------------------------------------- placement
 
@@ -78,52 +113,106 @@ class ServerlessCacheCluster:
         function, result = self.platform.spawn_function(memory_bytes=memory)
         return function, result.latency
 
-    def _find_host(self, size_bytes: int, exclude: set[str]) -> tuple[ServerlessFunction, LatencyBreakdown]:
-        """Find (or spawn) a warm function that can hold ``size_bytes``."""
-        candidates = [
-            f
-            for f in self.platform.warm_functions()
-            if f.function_id not in exclude and f.can_fit(size_bytes)
-        ]
-        if candidates:
-            # Best-fit keeps the number of warm functions (and thus keep-alive
-            # cost) low, mirroring the paper's "only two Lambda functions"
-            # footprint argument in Section 4.4.
-            best = min(candidates, key=lambda f: f.free_bytes)
-            return best, LatencyBreakdown.zero()
-        return self._spawn(size_bytes)
+    def _index_placement(self, key: DataKey, primary_id: str, replica_ids: list[str]) -> None:
+        copies = {primary_id, *replica_ids} if replica_ids else {primary_id}
+        self._live_copies[key] = copies
+        self._holder[key] = primary_id
+        function_keys = self._function_keys
+        for function_id in copies:
+            keys = function_keys.get(function_id)
+            if keys is None:
+                function_keys[function_id] = {key}
+            else:
+                keys.add(key)
 
     def place(self, key: DataKey, value: Any, size_bytes: int, now: float = 0.0) -> PlacementResult:
         """Cache ``value`` under ``key`` on a primary function plus replicas."""
-        latency = LatencyBreakdown.zero()
+        # Spawns (and thus nonzero latencies) are rare; summing only the
+        # nonzero breakdowns is exact (adding a zero breakdown is a float
+        # no-op) and skips an accumulator allocation per placement.
+        latency = _ZERO_LATENCY
         if key in self._primary:
             self.evict(key)
-        exclude: set[str] = set()
-        primary, spawn_latency = self._find_host(size_bytes, exclude)
-        latency = latency + spawn_latency
+
+        # One scan selects every host.  Sequential best-fit (scan, pick the
+        # fullest fitting function, exclude it, rescan) is equivalent to
+        # taking fitting functions in ascending free-space order, because
+        # storing on a chosen host never changes the other candidates'
+        # occupancy — so the k+1 copies come from a single sorted scan.
+        copies_needed = self.replication_factor + 1
+        hosts = [f for f in self.platform.warm_functions() if f.free_bytes >= size_bytes]
+        if len(hosts) > 1:
+            if copies_needed == 1:
+                hosts = [min(hosts, key=_free_bytes_of)]
+            else:
+                # Stable sort: ties keep platform (spawn) order, matching the
+                # sequential scan's first-minimal choice.
+                hosts.sort(key=_free_bytes_of)
+        del hosts[copies_needed:]
+
+        if hosts:
+            primary = hosts[0]
+            next_host = 1
+        else:
+            primary, spawn_latency = self._spawn(size_bytes)
+            latency = latency + spawn_latency
+            next_host = 0
         primary.store(key, value, now=now, size_bytes=size_bytes)
-        exclude.add(primary.function_id)
 
         replicas: list[str] = []
         for _ in range(self.replication_factor):
-            try:
-                replica, spawn_latency = self._find_host(size_bytes, exclude)
-            except (CapacityError, RuntimeError):
-                break
-            latency = latency + spawn_latency
+            if next_host < len(hosts):
+                replica = hosts[next_host]
+                next_host += 1
+            else:
+                try:
+                    replica, spawn_latency = self._spawn(size_bytes)
+                except (CapacityError, RuntimeError):
+                    break
+                latency = latency + spawn_latency
             replica.store(key, value, now=now, size_bytes=size_bytes)
             replicas.append(replica.function_id)
-            exclude.add(replica.function_id)
 
         self._primary[key] = primary.function_id
         self._replicas[key] = replicas
         self._sizes[key] = size_bytes
+        self._tracked_bytes += size_bytes
+        self._index_placement(key, primary.function_id, replicas)
         return PlacementResult(
             key=key,
             primary_function_id=primary.function_id,
             replica_function_ids=replicas,
             latency=latency,
         )
+
+    # --------------------------------------------------- reclamation events
+
+    def _on_function_reclaimed(self, function_id: str) -> None:
+        """Invalidate index entries for every key the reclaimed function held."""
+        keys = self._function_keys.pop(function_id, None)
+        if not keys:
+            return
+        for key in keys:
+            copies = self._live_copies.get(key)
+            if copies is None:
+                continue
+            copies.discard(function_id)
+            if self._holder.get(key) != function_id:
+                continue
+            holder = self._next_holder(key, copies)
+            self._holder[key] = holder
+            if holder is None:
+                self._lost[key] = None
+
+    def _next_holder(self, key: DataKey, copies: set[str]) -> str | None:
+        """First live copy in failover order (primary, then replicas in order)."""
+        primary_id = self._primary.get(key)
+        if primary_id in copies:
+            return primary_id
+        for replica_id in self._replicas.get(key, []):
+            if replica_id in copies:
+                return replica_id
+        return None
 
     # ------------------------------------------------------------ resolution
 
@@ -132,65 +221,114 @@ class ServerlessCacheCluster:
         primary_id = self._primary.get(key)
         if primary_id is None:
             return ResolveResult(key=key, function_id=None)
-        primary = self.platform.get_function(primary_id)
-        if primary.is_warm and primary.holds(key):
-            return ResolveResult(key=key, function_id=primary_id)
-        for replica_id in self._replicas.get(key, []):
-            replica = self.platform.get_function(replica_id)
-            if replica.is_warm and replica.holds(key):
-                return ResolveResult(key=key, function_id=replica_id, failed_over=True)
-        return ResolveResult(key=key, function_id=None, failed_over=True)
+        holder = self._holder.get(key)
+        if holder is None:
+            return ResolveResult(key=key, function_id=None, failed_over=True)
+        return ResolveResult(key=key, function_id=holder, failed_over=holder != primary_id)
+
+    def resolve_many(self, keys: Iterable[DataKey]) -> dict[DataKey, ResolveResult]:
+        """Resolve a batch of keys in one pass over the liveness index.
+
+        The request path resolves every required key once and reuses the
+        returned map for gathering, failover accounting, and execution-function
+        picking (:meth:`pick_execution_function` accepts it as a hint).
+        """
+        resolved: dict[DataKey, ResolveResult] = {}
+        primary_get = self._primary.get
+        holder_get = self._holder.get
+        for key in keys:
+            # Duplicate keys simply recompute the same entry; state does not
+            # change inside the batch, so no dedup check is needed.
+            primary_id = primary_get(key)
+            if primary_id is None:
+                resolved[key] = ResolveResult(key, None)
+                continue
+            holder = holder_get(key)
+            if holder is None:
+                resolved[key] = ResolveResult(key, None, True)
+            else:
+                resolved[key] = ResolveResult(key, holder, holder != primary_id)
+        return resolved
+
+    def is_live(self, key: DataKey) -> bool:
+        """Whether a live copy of ``key`` exists (no result object allocated)."""
+        return self._holder.get(key) is not None
 
     def contains(self, key: DataKey) -> bool:
-        """Whether a live copy of ``key`` exists in the cache."""
-        return self.resolve(key).is_hit
+        """Whether a live copy of ``key`` exists in the cache (alias of :meth:`is_live`)."""
+        return self.is_live(key)
 
     def get_object(self, key: DataKey) -> Any:
         """Return the cached object under ``key`` from any live copy."""
-        resolved = self.resolve(key)
-        if not resolved.is_hit:
+        holder = self._holder.get(key)
+        if holder is None:
             raise DataNotFoundError(key, "serverless cache")
-        return self.platform.get_function(resolved.function_id).load(key)
+        return self.platform.get_function(holder).load(key)
 
     # --------------------------------------------------------------- eviction
 
     def evict(self, key: DataKey) -> bool:
         """Remove every copy of ``key``; returns whether anything was removed."""
-        removed = False
-        for function_id in [self._primary.get(key), *self._replicas.get(key, [])]:
-            if function_id is None:
-                continue
-            function = self.platform.get_function(function_id)
-            if function.is_warm:
-                removed = function.evict(key) or removed
-        self._primary.pop(key, None)
-        self._replicas.pop(key, None)
-        self._sizes.pop(key, None)
+        primary_id = self._primary.get(key)
+        if primary_id is None:
+            # Untracked keys have no state anywhere (the maps are updated
+            # together), so eviction plans naming them are a cheap no-op.
+            return False
+        removed = self._evict_copy(key, primary_id)
+        for replica_id in self._replicas.get(key, ()):
+            removed = self._evict_copy(key, replica_id) or removed
+        self._forget(key)
         return removed
 
+    def _evict_copy(self, key: DataKey, function_id: str) -> bool:
+        """Drop one copy of ``key`` from ``function_id`` and the reverse map."""
+        function = self.platform.get_function(function_id)
+        removed = function.state is _FUNCTION_WARM and function.evict(key)
+        keys = self._function_keys.get(function_id)
+        if keys is not None:
+            keys.discard(key)
+        return removed
+
+    def _forget(self, key: DataKey) -> None:
+        """Drop every record of ``key`` from the maps and the liveness index."""
+        if self._primary.pop(key, None) is not None:
+            self._tracked_bytes -= self._sizes.get(key, 0)
+        self._replicas.pop(key, None)
+        self._sizes.pop(key, None)
+        self._live_copies.pop(key, None)
+        self._holder.pop(key, None)
+        self._lost.pop(key, None)
+
     def drop_lost_keys(self) -> list[DataKey]:
-        """Forget keys whose every copy was lost to reclamation; returns them."""
-        lost = [key for key in list(self._primary) if not self.resolve(key).is_hit]
+        """Forget keys whose every copy was lost to reclamation; returns them.
+
+        The liveness index records losses as reclamation events arrive, so
+        this is O(lost keys) rather than a re-resolve of every tracked key.
+        """
+        lost = list(self._lost)
         for key in lost:
-            self._primary.pop(key, None)
-            self._replicas.pop(key, None)
-            self._sizes.pop(key, None)
+            self._forget(key)
         return lost
 
     # ------------------------------------------------------------ inspection
 
     def cached_keys(self) -> list[DataKey]:
         """Every key with at least one live copy."""
-        return [key for key in self._primary if self.resolve(key).is_hit]
+        holders = self._holder
+        return [key for key in self._primary if holders.get(key) is not None]
 
     def cached_sizes(self) -> dict[DataKey, int]:
         """``key -> size`` for every key tracked by the cluster."""
         return dict(self._sizes)
 
+    def sizes_view(self) -> Mapping[DataKey, int]:
+        """Read-only live view of the tracked sizes (no copy; do not mutate)."""
+        return self._sizes
+
     @property
     def total_cached_bytes(self) -> int:
         """Logical bytes of primary copies tracked by the cluster."""
-        return sum(self._sizes.values())
+        return self._tracked_bytes
 
     def primary_function_of(self, key: DataKey) -> str | None:
         """Primary placement of ``key`` (even if currently reclaimed)."""
@@ -200,13 +338,27 @@ class ServerlessCacheCluster:
         """Identifiers of every warm function managed by the platform."""
         return [f.function_id for f in self.platform.warm_functions()]
 
-    def pick_execution_function(self, keys: list[DataKey]) -> str | None:
-        """The warm function holding the largest share of ``keys``' bytes."""
+    def pick_execution_function(
+        self,
+        keys: list[DataKey],
+        resolved: Mapping[DataKey, ResolveResult] | None = None,
+    ) -> str | None:
+        """The warm function holding the largest share of ``keys``' bytes.
+
+        ``resolved`` lets the request path reuse a :meth:`resolve_many` map
+        taken after the gather phase instead of re-resolving every key.
+        """
         tally: dict[str, int] = {}
+        sizes = self._sizes
+        holders = self._holder
         for key in keys:
-            resolved = self.resolve(key)
-            if resolved.is_hit:
-                tally[resolved.function_id] = tally.get(resolved.function_id, 0) + self._sizes.get(key, 0)
+            if resolved is not None:
+                entry = resolved.get(key)
+                holder = entry.function_id if entry is not None else None
+            else:
+                holder = holders.get(key)
+            if holder is not None:
+                tally[holder] = tally.get(holder, 0) + sizes.get(key, 0)
         if not tally:
             return None
         return max(tally, key=tally.get)

@@ -44,20 +44,58 @@ class DataKey:
     round_id: int
     client_id: int = -1
 
+    def __post_init__(self) -> None:
+        # Keys are hashed millions of times on the cache hot path (index and
+        # location dictionaries); precomputing once per instance avoids
+        # re-hashing the fields on every lookup.
+        object.__setattr__(self, "_hash", _key_hash(self.kind, self.round_id, self.client_id))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     @classmethod
     def update(cls, client_id: int, round_id: int) -> "DataKey":
-        """Key of ``client_id``'s model update in ``round_id``."""
-        return cls(kind=DataKind.CLIENT_UPDATE, round_id=round_id, client_id=client_id)
+        """Key of ``client_id``'s model update in ``round_id`` (interned)."""
+        pair = (round_id, client_id)
+        key = _UPDATE_INTERN.get(pair)
+        if key is None:
+            key = object.__new__(cls)
+            state = key.__dict__
+            state["kind"] = _CLIENT_UPDATE
+            state["round_id"] = round_id
+            state["client_id"] = client_id
+            state["_hash"] = _key_hash(_CLIENT_UPDATE, round_id, client_id)
+            _UPDATE_INTERN[pair] = key
+        return key
 
     @classmethod
     def aggregate(cls, round_id: int) -> "DataKey":
-        """Key of the aggregated model produced in ``round_id``."""
-        return cls(kind=DataKind.AGGREGATE, round_id=round_id, client_id=-1)
+        """Key of the aggregated model produced in ``round_id`` (interned)."""
+        key = _AGGREGATE_INTERN.get(round_id)
+        if key is None:
+            key = object.__new__(cls)
+            state = key.__dict__
+            state["kind"] = _AGGREGATE
+            state["round_id"] = round_id
+            state["client_id"] = -1
+            state["_hash"] = _key_hash(_AGGREGATE, round_id, -1)
+            _AGGREGATE_INTERN[round_id] = key
+        return key
 
     @classmethod
     def metadata(cls, client_id: int, round_id: int) -> "DataKey":
-        """Key of ``client_id``'s configuration/performance metadata in ``round_id``."""
-        return cls(kind=DataKind.METADATA, round_id=round_id, client_id=client_id)
+        """Key of ``client_id``'s configuration/performance metadata in ``round_id`` (interned)."""
+        pair = (round_id, client_id)
+        key = _METADATA_INTERN.get(pair)
+        if key is None:
+            key = object.__new__(cls)
+            state = key.__dict__
+            state["kind"] = _METADATA
+            state["round_id"] = round_id
+            state["client_id"] = client_id
+            state["_hash"] = _key_hash(_METADATA, round_id, client_id)
+            _METADATA_INTERN[pair] = key
+        return key
 
     @property
     def is_update(self) -> bool:
@@ -78,3 +116,37 @@ class DataKey:
         if self.is_aggregate:
             return f"aggregate/r{self.round_id}"
         return f"{self.kind.value}/c{self.client_id}/r{self.round_id}"
+
+
+#: Enum member aliases (skip the Enum descriptor lookup on the hot path).
+_CLIENT_UPDATE = DataKind.CLIENT_UPDATE
+_AGGREGATE = DataKind.AGGREGATE
+_METADATA = DataKind.METADATA
+
+#: Per-kind mixing constants (arbitrary odd numbers) for the arithmetic hash.
+_KIND_SALT = {
+    DataKind.CLIENT_UPDATE: 0x9E3779B97F4A7C15,
+    DataKind.AGGREGATE: 0xC2B2AE3D27D4EB4F,
+    DataKind.METADATA: 0x165667B19E3779F9,
+}
+
+
+def _key_hash(kind: DataKind, round_id: int, client_id: int) -> int:
+    """Hash of one key's fields, computed without building a tuple.
+
+    Only needs to be consistent within one process (equal fields ⇒ equal
+    hash); ``hash(int)`` is a no-op for machine-size ints, so mixing the
+    fields arithmetically is cheaper than hashing an ``(enum, int, int)``
+    tuple on every key creation.
+    """
+    return hash(_KIND_SALT[kind] ^ (round_id * 0x100000001B3) ^ (client_id + 0x7F4A7C15))
+
+
+#: Interning tables for the factory constructors.  The request hot path
+#: rebuilds the same keys for every request; handing back the existing
+#: instance lets dict lookups take the identity fast path (no ``__eq__``)
+#: and reuses the precomputed hash.  Keys built via ``DataKey(...)``
+#: directly still compare equal to interned ones.
+_UPDATE_INTERN: dict[tuple[int, int], DataKey] = {}
+_AGGREGATE_INTERN: dict[int, DataKey] = {}
+_METADATA_INTERN: dict[tuple[int, int], DataKey] = {}

@@ -24,11 +24,15 @@ class FunctionState(enum.Enum):
     RECLAIMED = "reclaimed"
 
 
-@dataclass
+@dataclass(slots=True)
 class _ResidentObject:
     value: Any
     size_bytes: int
     stored_at: float
+
+
+#: Module-level alias: avoids an enum descriptor lookup per liveness check.
+_WARM = FunctionState.WARM
 
 
 @dataclass
@@ -56,6 +60,18 @@ class ServerlessFunction:
         already accounts for function-class speed.
     """
 
+    __slots__ = (
+        "function_id",
+        "memory_limit_bytes",
+        "cpu_cores",
+        "state",
+        "last_invoked_at",
+        "stats",
+        "free_bytes",
+        "_objects",
+        "_used_bytes",
+    )
+
     def __init__(
         self,
         function_id: str,
@@ -71,23 +87,25 @@ class ServerlessFunction:
         self.last_invoked_at: float = 0.0
         self.stats = FunctionStats()
         self._objects: dict[Hashable, _ResidentObject] = {}
+        #: Running sum of resident object sizes; keeping it incrementally
+        #: maintained makes ``free_bytes``/``can_fit`` O(1) on the placement
+        #: hot path instead of O(resident objects).
+        self._used_bytes: int = 0
+        #: Remaining capacity, maintained alongside ``_used_bytes`` so the
+        #: best-fit scan reads a plain attribute instead of a property.
+        self.free_bytes: int = self.memory_limit_bytes
 
     # ------------------------------------------------------------ memory API
 
     @property
     def used_bytes(self) -> int:
         """Bytes of provisioned memory currently occupied by cached objects."""
-        return sum(obj.size_bytes for obj in self._objects.values())
-
-    @property
-    def free_bytes(self) -> int:
-        """Remaining capacity in bytes."""
-        return self.memory_limit_bytes - self.used_bytes
+        return self._used_bytes
 
     @property
     def is_warm(self) -> bool:
         """Whether the function is still resident (not reclaimed)."""
-        return self.state is FunctionState.WARM
+        return self.state is _WARM
 
     def can_fit(self, size_bytes: int) -> bool:
         """Whether an object of ``size_bytes`` fits in the remaining capacity."""
@@ -105,7 +123,8 @@ class ServerlessFunction:
         CapacityError
             If the object does not fit in the remaining memory.
         """
-        self._ensure_warm()
+        if self.state is not _WARM:
+            raise FunctionReclaimedError(self.function_id)
         size = int(size_bytes) if size_bytes is not None else payload_size_bytes(value)
         existing = self._objects.get(key)
         available = self.free_bytes + (existing.size_bytes if existing else 0)
@@ -114,7 +133,10 @@ class ServerlessFunction:
                 f"object of {size} bytes does not fit in function {self.function_id} "
                 f"({available} bytes available)"
             )
-        self._objects[key] = _ResidentObject(value=value, size_bytes=size, stored_at=now)
+        self._objects[key] = _ResidentObject(value, size, now)
+        delta = size - (existing.size_bytes if existing else 0)
+        self._used_bytes += delta
+        self.free_bytes -= delta
         self.stats.objects_stored += 1
         return size
 
@@ -134,15 +156,17 @@ class ServerlessFunction:
 
     def evict(self, key: Hashable) -> bool:
         """Drop ``key`` from memory; returns whether it was present."""
-        if key in self._objects:
-            del self._objects[key]
+        record = self._objects.pop(key, None)
+        if record is not None:
+            self._used_bytes -= record.size_bytes
+            self.free_bytes += record.size_bytes
             self.stats.objects_evicted += 1
             return True
         return False
 
     def holds(self, key: Hashable) -> bool:
         """Whether ``key`` is resident in this function."""
-        return self.is_warm and key in self._objects
+        return self.state is _WARM and key in self._objects
 
     def resident_keys(self) -> Iterator[Hashable]:
         """Iterate over every resident key."""
@@ -173,13 +197,15 @@ class ServerlessFunction:
         """Simulate the provider reclaiming the function: all memory is lost."""
         self.state = FunctionState.RECLAIMED
         self._objects.clear()
+        self._used_bytes = 0
+        self.free_bytes = self.memory_limit_bytes
 
     def restore(self) -> None:
         """Re-provision the function after reclamation (memory starts empty)."""
         self.state = FunctionState.WARM
 
     def _ensure_warm(self) -> None:
-        if not self.is_warm:
+        if self.state is not _WARM:
             raise FunctionReclaimedError(self.function_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

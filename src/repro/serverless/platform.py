@@ -15,7 +15,7 @@ The platform emulates the provider-side behaviour FLStore relies on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.common.errors import DataNotFoundError, FunctionReclaimedError
 from repro.common.ids import IdGenerator
@@ -67,6 +67,24 @@ class ServerlessPlatform:
         self.stats = PlatformStats()
         self._functions: dict[str, ServerlessFunction] = {}
         self._ids = IdGenerator(prefix="fn")
+        self._reclamation_listeners: list[Callable[[str], None]] = []
+        #: Memoized warm-function list; invalidated whenever the fleet's
+        #: composition changes (spawn/reclaim/restore/remove).  Placement
+        #: scans it on every admission, so rebuilding it per call is wasteful.
+        self._warm_cache: list[ServerlessFunction] | None = None
+        #: Memoized invocation latency/cost per (memory_gb, busy_seconds).
+        self._invoke_effects: dict[tuple[float, float], tuple[LatencyBreakdown, CostBreakdown]] = {}
+        #: Memoized keep-alive cost per (instance_count, duration_hours).
+        self._keepalive_effects: dict[tuple[int, float], CostBreakdown] = {}
+
+    def add_reclamation_listener(self, listener: Callable[[str], None]) -> None:
+        """Subscribe to reclamation events (called with the function id).
+
+        Listeners let index structures (the cache cluster's liveness index)
+        invalidate exactly the affected entries instead of probing every key
+        after each fault-injection step.
+        """
+        self._reclamation_listeners.append(listener)
 
     # ----------------------------------------------------------- lifecycle
 
@@ -93,6 +111,7 @@ class ServerlessPlatform:
             )
         function = ServerlessFunction(self._ids.next(), memory_limit_bytes=memory, cpu_cores=cpu_cores)
         self._functions[function.function_id] = function
+        self._warm_cache = None
         self.stats.functions_spawned += 1
         self.stats.cold_starts += 1
         latency = LatencyBreakdown(cold_start_seconds=self.config.cold_start_seconds)
@@ -105,7 +124,10 @@ class ServerlessPlatform:
             raise DataNotFoundError(function_id, "serverless platform")
         if function.is_warm:
             function.reclaim()
+            self._warm_cache = None
             self.stats.functions_reclaimed += 1
+            for listener in self._reclamation_listeners:
+                listener(function_id)
 
     def restore_function(self, function_id: str) -> tuple[ServerlessFunction, OperationResult]:
         """Re-provision a previously reclaimed function (cold start, empty memory)."""
@@ -113,13 +135,19 @@ class ServerlessPlatform:
         if function is None:
             raise DataNotFoundError(function_id, "serverless platform")
         function.restore()
+        self._warm_cache = None
         self.stats.cold_starts += 1
         latency = LatencyBreakdown(cold_start_seconds=self.config.cold_start_seconds)
         return function, OperationResult(value=function_id, latency=latency)
 
     def remove_function(self, function_id: str) -> None:
         """Permanently remove a function from the fleet."""
-        self._functions.pop(function_id, None)
+        function = self._functions.pop(function_id, None)
+        self._warm_cache = None
+        if function is not None and function.is_warm:
+            # Removal loses warm memory just like a reclamation does.
+            for listener in self._reclamation_listeners:
+                listener(function_id)
 
     # ------------------------------------------------------------- lookup
 
@@ -139,8 +167,12 @@ class ServerlessPlatform:
         return iter(list(self._functions.values()))
 
     def warm_functions(self) -> list[ServerlessFunction]:
-        """Every function currently warm."""
-        return [f for f in self._functions.values() if f.is_warm]
+        """Every function currently warm (shared memoized list; do not mutate)."""
+        cached = self._warm_cache
+        if cached is None:
+            cached = [f for f in self._functions.values() if f.is_warm]
+            self._warm_cache = cached
+        return cached
 
     @property
     def warm_count(self) -> int:
@@ -183,12 +215,19 @@ class ServerlessPlatform:
         memory_gb = function.memory_limit_bytes / GB
         billed_seconds = max(busy_seconds, 0.001)  # providers bill a minimum duration
         self.stats.billed_gb_seconds += memory_gb * billed_seconds
-        cost = self.cost_model.lambda_execution_cost(memory_gb, billed_seconds)
+        # Workload durations are discrete (per workload and key count), so
+        # the frozen latency/cost pair is memoized per (memory, duration).
+        effects = self._invoke_effects.get((memory_gb, busy_seconds))
+        if effects is None:
+            cost = self.cost_model.lambda_execution_cost(memory_gb, billed_seconds)
+            latency = LatencyBreakdown(
+                computation_seconds=busy_seconds,
+                communication_seconds=self.config.invocation_overhead_seconds,
+            )
+            effects = (latency, cost)
+            self._invoke_effects[(memory_gb, busy_seconds)] = effects
+        latency, cost = effects
         self.stats.total_execution_cost += cost.total_dollars
-        latency = LatencyBreakdown(
-            computation_seconds=busy_seconds,
-            communication_seconds=self.config.invocation_overhead_seconds,
-        )
         del payload_bytes  # control messages are negligible; kept for interface clarity
         return OperationResult(value=None, latency=latency, cost=cost)
 
@@ -208,7 +247,11 @@ class ServerlessPlatform:
         Defaults to the current number of warm functions.
         """
         count = self.warm_count if instance_count is None else instance_count
-        return self.cost_model.lambda_keepalive_cost(count, duration_hours)
+        cached = self._keepalive_effects.get((count, duration_hours))
+        if cached is None:
+            cached = self.cost_model.lambda_keepalive_cost(count, duration_hours)
+            self._keepalive_effects[(count, duration_hours)] = cached
+        return cached
 
     def memory_cost(self, duration_hours: float) -> CostBreakdown:
         """Cost of the memory held by warm functions for ``duration_hours``.

@@ -19,7 +19,7 @@ import numpy as np
 from repro.simulation.records import CostBreakdown, LatencyBreakdown
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestRecord:
     """Outcome of one non-training request served by some system."""
 

@@ -123,7 +123,99 @@ class CostBreakdown:
         return cls()
 
 
-@dataclass
+class LatencyAccumulator:
+    """Mutable running sum of :class:`LatencyBreakdown` components.
+
+    The request hot path adds dozens of breakdowns per request; summing into
+    plain float slots avoids allocating an intermediate frozen dataclass per
+    addition.  Components are accumulated in the same order ``__add__`` sums
+    them, so ``finalize()`` is bit-identical to folding with ``+``.
+    """
+
+    __slots__ = ("communication_seconds", "computation_seconds", "queueing_seconds", "cold_start_seconds")
+
+    def __init__(self, initial: LatencyBreakdown | None = None) -> None:
+        self.communication_seconds = 0.0
+        self.computation_seconds = 0.0
+        self.queueing_seconds = 0.0
+        self.cold_start_seconds = 0.0
+        if initial is not None:
+            self.add(initial)
+
+    def add(self, other: LatencyBreakdown) -> "LatencyAccumulator":
+        self.communication_seconds += other.communication_seconds
+        self.computation_seconds += other.computation_seconds
+        self.queueing_seconds += other.queueing_seconds
+        self.cold_start_seconds += other.cold_start_seconds
+        return self
+
+    def add_communication(self, seconds: float) -> "LatencyAccumulator":
+        self.communication_seconds += seconds
+        return self
+
+    def add_queueing(self, seconds: float) -> "LatencyAccumulator":
+        self.queueing_seconds += seconds
+        return self
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.communication_seconds
+            + self.computation_seconds
+            + self.queueing_seconds
+            + self.cold_start_seconds
+        )
+
+    def finalize(self) -> LatencyBreakdown:
+        """Freeze the running sums into an immutable breakdown."""
+        return LatencyBreakdown(
+            communication_seconds=self.communication_seconds,
+            computation_seconds=self.computation_seconds,
+            queueing_seconds=self.queueing_seconds,
+            cold_start_seconds=self.cold_start_seconds,
+        )
+
+
+class CostAccumulator:
+    """Mutable running sum of :class:`CostBreakdown` components."""
+
+    __slots__ = (
+        "transfer_dollars",
+        "request_dollars",
+        "compute_dollars",
+        "storage_dollars",
+        "provisioned_dollars",
+    )
+
+    def __init__(self, initial: CostBreakdown | None = None) -> None:
+        self.transfer_dollars = 0.0
+        self.request_dollars = 0.0
+        self.compute_dollars = 0.0
+        self.storage_dollars = 0.0
+        self.provisioned_dollars = 0.0
+        if initial is not None:
+            self.add(initial)
+
+    def add(self, other: CostBreakdown) -> "CostAccumulator":
+        self.transfer_dollars += other.transfer_dollars
+        self.request_dollars += other.request_dollars
+        self.compute_dollars += other.compute_dollars
+        self.storage_dollars += other.storage_dollars
+        self.provisioned_dollars += other.provisioned_dollars
+        return self
+
+    def finalize(self) -> CostBreakdown:
+        """Freeze the running sums into an immutable breakdown."""
+        return CostBreakdown(
+            transfer_dollars=self.transfer_dollars,
+            request_dollars=self.request_dollars,
+            compute_dollars=self.compute_dollars,
+            storage_dollars=self.storage_dollars,
+            provisioned_dollars=self.provisioned_dollars,
+        )
+
+
+@dataclass(slots=True)
 class OperationResult:
     """Return value of a storage or compute operation in a substrate.
 

@@ -93,6 +93,30 @@ class TestServing:
         assert flstore.clock.now() > before
 
 
+class TestSpawnLatencyAccounting:
+    def test_empty_fleet_spawn_latency_is_charged(self, small_config):
+        """Serving with no warm functions spawns one and charges its cold start."""
+        system = build_default_flstore(small_config)
+        # No ingestion: the fleet is empty and nothing is cached, so the
+        # execution function must be spawned on demand.
+        assert system.warm_function_count == 0
+        system.catalog.register_membership(0, [1, 2])
+        result = system.serve(system.make_request("clustering", round_id=0))
+        assert system.warm_function_count == 1
+        assert result.latency.cold_start_seconds >= small_config.serverless.cold_start_seconds
+
+    def test_any_warm_function_returns_zero_latency_when_warm(self, flstore):
+        function_id, latency = flstore._any_warm_function()
+        assert flstore.platform.get_function(function_id).is_warm
+        assert latency.total_seconds == 0.0
+
+    def test_any_warm_function_spawns_and_reports_latency(self, small_config):
+        system = build_default_flstore(small_config)
+        function_id, latency = system._any_warm_function()
+        assert system.platform.get_function(function_id).is_warm
+        assert latency.cold_start_seconds == small_config.serverless.cold_start_seconds
+
+
 class TestCostModel:
     def test_flstore_request_is_orders_cheaper_than_aggregator_hour(self, flstore):
         result = flstore.serve(flstore.make_request("cosine_similarity", round_id=9))

@@ -1,0 +1,143 @@
+"""Property-style consistency tests for the cluster's liveness index.
+
+The index (reverse ``function -> keys`` map, per-key holder, event-driven
+invalidation) must always agree with a brute-force re-resolve that scans the
+platform's actual function state — under placement, eviction, replication,
+and Zipfian-injected reclamations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.units import MB
+from repro.config import PricingConfig, ServerlessConfig
+from repro.core.serverless_cache import ServerlessCacheCluster
+from repro.fl.keys import DataKey
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.serverless.platform import ServerlessPlatform
+
+
+def oracle_resolve(cluster: ServerlessCacheCluster, key: DataKey):
+    """The seed's scan-based resolution: primary first, then replicas in order.
+
+    Returns ``(function_id | None, failed_over)`` computed directly from the
+    platform's function state, bypassing the liveness index entirely.
+    """
+    primary_id = cluster._primary.get(key)
+    if primary_id is None:
+        return None, False
+    primary = cluster.platform.get_function(primary_id)
+    if primary.is_warm and primary.holds(key):
+        return primary_id, False
+    for replica_id in cluster._replicas.get(key, []):
+        replica = cluster.platform.get_function(replica_id)
+        if replica.is_warm and replica.holds(key):
+            return replica_id, True
+    return None, True
+
+
+def assert_index_consistent(cluster: ServerlessCacheCluster):
+    """Every tracked key's indexed resolution must match the oracle."""
+    for key in list(cluster._primary):
+        expected_fid, expected_failover = oracle_resolve(cluster, key)
+        resolved = cluster.resolve(key)
+        assert resolved.function_id == expected_fid, f"holder mismatch for {key}"
+        assert resolved.failed_over == expected_failover, f"failover mismatch for {key}"
+        assert cluster.is_live(key) == (expected_fid is not None)
+    # The batch API must agree with the scalar one.
+    keys = list(cluster._primary)
+    batch = cluster.resolve_many(keys)
+    for key in keys:
+        single = cluster.resolve(key)
+        assert batch[key].function_id == single.function_id
+        assert batch[key].failed_over == single.failed_over
+    # Aggregate views must agree with a from-scratch recomputation.
+    assert cluster.total_cached_bytes == sum(cluster._sizes.values())
+    expected_live = [k for k in cluster._primary if oracle_resolve(cluster, k)[0] is not None]
+    assert cluster.cached_keys() == expected_live
+
+
+@pytest.fixture()
+def platform():
+    return ServerlessPlatform(ServerlessConfig(), PricingConfig())
+
+
+class TestLivenessIndexProperty:
+    @pytest.mark.parametrize("replication_factor", [0, 1, 2])
+    def test_index_matches_oracle_under_zipfian_faults(self, replication_factor):
+        """Random place/evict/reclaim churn keeps the index oracle-consistent."""
+        platform = ServerlessPlatform(ServerlessConfig(), PricingConfig())
+        cluster = ServerlessCacheCluster(platform, replication_factor=replication_factor)
+        injector = ZipfianFaultInjector(fault_rate=0.35, seed=17 + replication_factor)
+        rng = np.random.default_rng(23 + replication_factor)
+
+        live_keys: list[DataKey] = []
+        for step in range(120):
+            action = rng.random()
+            if action < 0.55 or not live_keys:
+                key = DataKey.update(int(rng.integers(0, 40)), int(rng.integers(0, 6)))
+                cluster.place(key, {"step": step}, size_bytes=int(rng.integers(1, 64)) * MB)
+                if key not in live_keys:
+                    live_keys.append(key)
+            elif action < 0.75:
+                key = live_keys.pop(int(rng.integers(0, len(live_keys))))
+                cluster.evict(key)
+            else:
+                reclaimed = injector.sample_reclamations(cluster.function_ids())
+                for function_id in reclaimed:
+                    platform.reclaim_function(function_id)
+            assert_index_consistent(cluster)
+
+        # Dropping lost keys must report exactly the oracle's dead set and
+        # leave only live keys tracked.
+        dead = {k for k in cluster._primary if oracle_resolve(cluster, k)[0] is None}
+        assert set(cluster.drop_lost_keys()) == dead
+        assert_index_consistent(cluster)
+        assert all(cluster.is_live(k) for k in cluster._primary)
+
+    def test_reclamation_event_prunes_reverse_map(self, platform):
+        cluster = ServerlessCacheCluster(platform, replication_factor=1)
+        key = DataKey.update(1, 0)
+        placement = cluster.place(key, b"x", size_bytes=10 * MB)
+        assert key in cluster._function_keys[placement.primary_function_id]
+        platform.reclaim_function(placement.primary_function_id)
+        # The reclaimed function's reverse entry is gone; the replica serves.
+        assert placement.primary_function_id not in cluster._function_keys
+        resolved = cluster.resolve(key)
+        assert resolved.failed_over and resolved.function_id == placement.replica_function_ids[0]
+        assert_index_consistent(cluster)
+
+    def test_total_loss_is_recorded_without_probing(self, platform):
+        cluster = ServerlessCacheCluster(platform, replication_factor=0)
+        key = DataKey.update(2, 0)
+        placement = cluster.place(key, b"x", size_bytes=10 * MB)
+        platform.reclaim_function(placement.primary_function_id)
+        assert not cluster.is_live(key)
+        assert cluster.resolve(key).failed_over
+        assert cluster.drop_lost_keys() == [key]
+        assert cluster.drop_lost_keys() == []
+
+    def test_replace_after_loss_clears_lost_state(self, platform):
+        cluster = ServerlessCacheCluster(platform, replication_factor=0)
+        key = DataKey.update(3, 0)
+        placement = cluster.place(key, b"old", size_bytes=10 * MB)
+        platform.reclaim_function(placement.primary_function_id)
+        assert not cluster.is_live(key)
+        cluster.place(key, b"new", size_bytes=10 * MB)
+        assert cluster.is_live(key)
+        assert cluster.get_object(key) == b"new"
+        # The re-placed key must no longer be reported as lost.
+        assert cluster.drop_lost_keys() == []
+        assert_index_consistent(cluster)
+
+    def test_restore_does_not_resurrect_lost_copies(self, platform):
+        cluster = ServerlessCacheCluster(platform, replication_factor=0)
+        key = DataKey.update(4, 0)
+        placement = cluster.place(key, b"x", size_bytes=10 * MB)
+        platform.reclaim_function(placement.primary_function_id)
+        platform.restore_function(placement.primary_function_id)
+        # Warm again, but its memory was wiped: the key stays dead.
+        assert not cluster.is_live(key)
+        assert_index_consistent(cluster)
