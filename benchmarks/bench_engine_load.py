@@ -1,0 +1,41 @@
+"""Open-loop engine load benchmark — the queueing counterpart of the hot path.
+
+Runs the arrival-process x utilization sweep through the discrete-event
+engine at a reduced scale and merges the resulting rows into
+``BENCH_serve.json`` under the ``engine_load`` section, so the perf record
+tracks both the closed-loop serve throughput and the open-loop queueing
+profile across PRs.
+"""
+
+from repro.analysis.experiments import run_load_sweep
+from repro.analysis.perf import merge_bench_json
+
+
+def test_engine_load(report):
+    result = report(
+        lambda: run_load_sweep(num_rounds=10, num_requests=80),
+        "Open-loop load sweep (engine)",
+        columns=[
+            "process",
+            "utilization",
+            "offered_rps",
+            "goodput_rps",
+            "p50_sojourn_seconds",
+            "p95_sojourn_seconds",
+            "p99_sojourn_seconds",
+            "mean_queue_depth",
+            "max_queue_depth",
+        ],
+    )
+    rows = result["rows"]
+    merge_bench_json(
+        "engine_load",
+        {"rows": rows, "mean_service_seconds": result["mean_service_seconds"]},
+    )
+    assert len(rows) == 9  # 3 arrival processes x 3 utilization levels
+    assert all(row["completed"] == 80 for row in rows)
+    by_point = {(row["process"], row["utilization"]): row for row in rows}
+    for process in ("poisson", "bursty", "diurnal"):
+        light, heavy = by_point[(process, 0.5)], by_point[(process, 2.0)]
+        # Queueing must bite as offered load crosses the service rate.
+        assert heavy["p95_sojourn_seconds"] >= light["p95_sojourn_seconds"]

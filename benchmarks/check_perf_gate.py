@@ -1,0 +1,80 @@
+"""Benchmark regression gate for the serve hot path.
+
+Compares the freshly measured ``BENCH_serve.json`` against the committed
+baseline and fails (exit code 1) when the hot-path wall time regressed by
+more than the allowed fraction.  Used as the last CI step::
+
+    python benchmarks/check_perf_gate.py BASELINE.json BENCH_serve.json --max-regression 0.25
+
+Set ``PERF_GATE_SKIP=1`` to turn the gate into a report-only step (useful
+when the runner hardware differs wildly from the baseline machine).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _skip_requested() -> bool:
+    """Whether PERF_GATE_SKIP is set to a truthy value (\"0\"/\"false\" keep the gate on)."""
+    return os.environ.get("PERF_GATE_SKIP", "").strip().lower() in ("1", "true", "yes", "on")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_serve.json to compare against")
+    parser.add_argument("current", help="freshly measured BENCH_serve.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown (0.25 = fail past +25%%)",
+    )
+    parser.add_argument(
+        "--key",
+        default="wall_seconds",
+        help="top-level metric to compare (default: serve hot-path wall time)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.current, "r", encoding="utf-8") as handle:
+        current = json.load(handle)
+
+    base_value = baseline.get(args.key)
+    current_value = current.get(args.key)
+    if (
+        not isinstance(base_value, (int, float))
+        or not isinstance(current_value, (int, float))
+        or base_value <= 0
+    ):
+        # A broken or renamed metric must not silently disable the gate.
+        print(
+            f"perf gate: cannot compare {args.key!r} "
+            f"(baseline={base_value!r}, current={current_value!r})"
+        )
+        if _skip_requested():
+            print("perf gate: PERF_GATE_SKIP set, reporting only")
+            return 0
+        return 1
+
+    ratio = current_value / base_value
+    verdict = "ok" if ratio <= 1.0 + args.max_regression else "REGRESSION"
+    print(
+        f"perf gate [{args.key}]: baseline={base_value:.6f} current={current_value:.6f} "
+        f"ratio={ratio:.3f} (limit {1.0 + args.max_regression:.2f}) -> {verdict}"
+    )
+    if verdict == "REGRESSION":
+        if _skip_requested():
+            print("perf gate: PERF_GATE_SKIP set, reporting only")
+            return 0
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,13 +33,16 @@ from repro.config import (
     SimulationConfig,
 )
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.engine.flstore import EngineFLStore
 from repro.fl.trainer import FLJobSimulator
+from repro.traces.arrivals import make_arrival_process
 from repro.workloads.base import WorkloadRequest
 from repro.workloads.registry import get_workload, list_workloads
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineFLStore",
     "FLJobConfig",
     "FLJobSimulator",
     "FLStore",
@@ -51,5 +54,6 @@ __all__ = [
     "build_default_flstore",
     "get_workload",
     "list_workloads",
+    "make_arrival_process",
     "__version__",
 ]

@@ -25,8 +25,10 @@ from repro.analysis.comparison import percent_reduction
 from repro.analysis.runner import map_tasks, prepare_setup, run_trace
 from repro.config import SimulationConfig
 from repro.core.flstore import build_default_flstore
+from repro.engine.flstore import EngineFLStore
 from repro.fl.models import EVALUATION_MODELS
 from repro.simulation.metrics import MetricsCollector, MetricSummary, summarize_records
+from repro.traces.arrivals import ARRIVAL_KINDS, make_arrival_process
 from repro.traces.generator import RequestTraceGenerator
 from repro.workloads.registry import (
     CACHE_AGG_WORKLOADS,
@@ -716,6 +718,89 @@ def run_figure17_vs_cache_agg_totals(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# Open-loop load sweep — offered load vs goodput through the event engine
+# ---------------------------------------------------------------------------
+
+#: Workload mix of the load sweep: one P1 (inference), one P2 (clustering),
+#: one P4 (metadata) workload, so the offered stream touches the policy
+#: classes with distinct data needs.
+LOAD_SWEEP_WORKLOADS: tuple[str, ...] = ("inference", "clustering", "scheduling_perf")
+
+
+def _load_sweep_trace(setup, workloads: Sequence[str], num_requests: int):
+    """The deterministic request mix every load-sweep run replays."""
+    return setup.generator.mixed_trace(list(workloads), num_requests)
+
+
+def calibrate_service_time(
+    model_name: str,
+    workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
+    num_rounds: int = 12,
+    num_requests: int = 60,
+    seed: int = 7,
+) -> float:
+    """Mean closed-loop service time of the sweep's request mix (seconds).
+
+    Offered rates are expressed as *utilization* multiples of the service
+    rate (``rho = rate * E[S]``), so sweeps stay meaningful if the analytic
+    latency model is recalibrated.
+    """
+    config = _experiment_config(model_name, seed=seed)
+    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+    engine = EngineFLStore(setup.flstore)
+    trace = _load_sweep_trace(setup, workloads, num_requests)
+    results = engine.run_closed_loop(trace)
+    return float(np.mean([r.latency.total_seconds for r in results]))
+
+
+def run_load_sweep(
+    model_name: str = "efficientnet_v2_small",
+    workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
+    processes: Sequence[str] = ARRIVAL_KINDS,
+    utilizations: Sequence[float] = (0.5, 1.0, 2.0),
+    num_rounds: int = 12,
+    num_requests: int = 120,
+    seed: int = 7,
+) -> dict:
+    """Open-loop load sweep: arrival process x offered utilization.
+
+    For every arrival process and utilization level, a fresh FLStore serves
+    the same deterministic request mix through the discrete-event engine
+    with arrivals drawn from the process at rate ``rho / E[S]``.  Each row
+    reports offered load vs goodput, p50/p95/p99 sojourn time, and queue
+    depth — the load-dependent behaviour the closed-loop figures cannot
+    show.  Everything is a pure function of ``seed``.
+    """
+    mean_service = calibrate_service_time(
+        model_name,
+        workloads=workloads,
+        num_rounds=num_rounds,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    config = _experiment_config(model_name, seed=seed)
+    rows = []
+    for kind in processes:
+        for rho in utilizations:
+            rate = rho / mean_service
+            setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+            engine = EngineFLStore(setup.flstore)
+            trace = _load_sweep_trace(setup, workloads, num_requests)
+            arrivals = make_arrival_process(kind, rate, seed=seed).times(len(trace))
+            report = engine.run_open_loop(trace, arrivals, label=kind, keepalive=True)
+            row = {"process": kind, "utilization": rho}
+            row.update(report.row())
+            rows.append(row)
+    return {
+        "rows": rows,
+        "mean_service_seconds": mean_service,
+        "num_requests": num_requests,
+        "workloads": list(workloads),
+        "seed": seed,
+    }
 
 
 # ---------------------------------------------------------------------------

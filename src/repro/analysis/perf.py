@@ -119,12 +119,40 @@ def measure_serve_hotpath(
     )
 
 
-def write_bench_json(report: ServePerfReport, path: str = "BENCH_serve.json", extra: dict | None = None) -> str:
-    """Write ``report`` (plus optional ``extra`` context) to ``path``."""
-    payload = report.as_dict()
-    if extra:
-        payload.update(extra)
+def _read_bench_json(path: str) -> dict:
+    """Existing perf record at ``path``, or an empty dict."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return data if isinstance(data, dict) else {}
+    except (OSError, ValueError):
+        return {}
+
+
+def _write_payload(payload: dict, path: str) -> str:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return path
+
+
+def write_bench_json(report: ServePerfReport, path: str = "BENCH_serve.json", extra: dict | None = None) -> str:
+    """Write ``report`` (plus optional ``extra`` context) to ``path``.
+
+    Top-level keys the report does not produce (e.g. the ``engine_load``
+    section written by :func:`merge_bench_json`) are preserved, so the
+    hot-path and open-loop benchmarks can share one perf record regardless
+    of execution order.
+    """
+    payload = _read_bench_json(path)
+    payload.update(report.as_dict())
+    if extra:
+        payload.update(extra)
+    return _write_payload(payload, path)
+
+
+def merge_bench_json(section: str, payload: dict, path: str = "BENCH_serve.json") -> str:
+    """Merge ``payload`` under the ``section`` key of the perf record at ``path``."""
+    data = _read_bench_json(path)
+    data[section] = payload
+    return _write_payload(data, path)

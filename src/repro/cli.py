@@ -23,6 +23,7 @@ from repro.analysis.export import export_csv, export_json
 from repro.analysis.perf import tune_gc
 from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
+from repro.traces.arrivals import ARRIVAL_KINDS
 from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
 
 #: Experiment name -> (callable, description, accepts num_rounds kwarg).
@@ -79,6 +80,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="worker-process count for --parallel (default: CPU count); implies --parallel",
     )
+
+    load = sub.add_parser(
+        "run-load",
+        help="open-loop load sweep through the discrete-event engine",
+        description=(
+            "Serve the load-sweep request mix with open-loop arrivals (Poisson, "
+            "bursty, diurnal) at several offered utilizations and print offered "
+            "load vs goodput, queue depth, and p50/p95/p99 sojourn time."
+        ),
+    )
+    load.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
+    load.add_argument("--requests", type=int, default=120, help="requests per sweep point")
+    load.add_argument("--seed", type=int, default=7, help="simulation seed")
+    load.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
+    load.add_argument(
+        "--processes",
+        type=str,
+        default=",".join(ARRIVAL_KINDS),
+        help="comma-separated arrival processes (poisson, bursty, diurnal)",
+    )
+    load.add_argument(
+        "--utilizations",
+        type=str,
+        default="0.5,1.0,2.0",
+        help="comma-separated offered utilizations (multiples of the service rate)",
+    )
+    load.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
     return parser
 
 
@@ -110,6 +138,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     tune_gc()
+    if args.command == "run-load":
+        result = E.run_load_sweep(
+            model_name=args.model,
+            processes=tuple(p.strip() for p in args.processes.split(",") if p.strip()),
+            utilizations=tuple(float(u) for u in args.utilizations.split(",") if u.strip()),
+            num_rounds=args.rounds,
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        print(format_table(result["rows"], title="Open-loop load sweep (engine)"))
+        print(
+            "summary:",
+            {k: v for k, v in result.items() if k != "rows" and not isinstance(v, (list, dict))},
+        )
+        if args.out:
+            if args.out.endswith(".csv"):
+                path = export_csv(result["rows"], args.out)
+            else:
+                path = export_json(result, args.out)
+            print(f"wrote {path}")
+        return 0
+
     if args.parallel or args.workers is not None:
         set_max_workers(args.workers if args.workers is not None else (os.cpu_count() or 1))
 

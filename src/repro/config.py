@@ -160,6 +160,13 @@ class ServerlessConfig:
     failover_timeout_seconds: float = 2.0
     #: Maximum number of functions the platform will keep warm at once.
     max_warm_functions: int = 512
+    #: Concurrent executions one warm function admits before requests queue
+    #: (serverless providers run one request per instance; raise it to model
+    #: provisioned-concurrency pools behind a single logical function).
+    function_concurrency: int = 1
+    #: Discipline of the per-function request queue used by the discrete-event
+    #: engine: ``"fifo"`` or ``"priority"`` (lower priority value served first).
+    queue_discipline: str = "fifo"
 
     def __post_init__(self) -> None:
         if self.default_function_memory_bytes > self.max_function_memory_bytes:
@@ -170,6 +177,12 @@ class ServerlessConfig:
             raise ConfigurationError("replication_factor must be >= 0")
         if self.max_warm_functions <= 0:
             raise ConfigurationError("max_warm_functions must be positive")
+        if self.function_concurrency <= 0:
+            raise ConfigurationError("function_concurrency must be positive")
+        if self.queue_discipline not in ("fifo", "priority"):
+            raise ConfigurationError(
+                f"queue_discipline must be 'fifo' or 'priority', got {self.queue_discipline!r}"
+            )
 
 
 @dataclass(frozen=True)

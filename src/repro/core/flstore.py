@@ -70,6 +70,10 @@ class ServeResult:
     prefetched_keys: int = 0
     evicted_keys: int = 0
     served_by: list[str] = field(default_factory=list)
+    #: The function the workload executed on (None on substrates that run
+    #: requests outside the serverless fleet, e.g. the aggregator baselines).
+    #: The discrete-event engine queues concurrent requests on this function.
+    execution_function: str | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -292,6 +296,7 @@ class FLStore:
             prefetched_keys=prefetched,
             evicted_keys=evicted,
             served_by=list(routed),
+            execution_function=execution_function,
         )
 
     # ---------------------------------------------------------------- helpers

@@ -85,15 +85,30 @@ class MultiTenantFLStore:
 
     # ------------------------------------------------------------ data path
 
-    def ingest_round(self, tenant_id: str, record: RoundRecord) -> None:
-        """Ingest a training round into ``tenant_id``'s cache only."""
+    def ingest_round(self, tenant_id: str, record: RoundRecord, now: float | None = None) -> None:
+        """Ingest a training round into ``tenant_id``'s cache only.
+
+        ``now`` (optional) advances the tenant's virtual clock to the wall
+        time of the ingestion before it runs.
+        """
         handle = self.tenant(tenant_id)
+        if now is not None:
+            handle.flstore.clock.advance_to(now)
         handle.flstore.ingest_round(record)
         handle.rounds_ingested += 1
 
-    def serve(self, tenant_id: str, request: WorkloadRequest) -> ServeResult:
-        """Serve a non-training request against ``tenant_id``'s cache only."""
+    def serve(self, tenant_id: str, request: WorkloadRequest, now: float | None = None) -> ServeResult:
+        """Serve a non-training request against ``tenant_id``'s cache only.
+
+        ``now`` (optional) is the request's arrival timestamp on a shared
+        wall clock: the tenant's own clock advances to it (monotonically —
+        a tenant that is already past ``now`` keeps its later time) before
+        serving, so interleaved tenants each see a consistent timeline while
+        sharing no clock state.
+        """
         handle = self.tenant(tenant_id)
+        if now is not None:
+            handle.flstore.clock.advance_to(now)
         result = handle.flstore.serve(request)
         handle.requests_served += 1
         return result

@@ -1,0 +1,21 @@
+"""Discrete-event concurrency engine for the FLStore simulator.
+
+:mod:`repro.engine.kernel` provides the generic substrate (event heap,
+:class:`SimTask` futures, generator processes); :mod:`repro.engine.flstore`
+builds the serving semantics on top: overlapping requests, per-function
+concurrency limits with FIFO/priority queues, and keep-alive/reclamation as
+scheduled events.  Open-loop arrival processes live in
+:mod:`repro.traces.arrivals`.
+"""
+
+from repro.engine.flstore import EngineFLStore, EngineOutcome, LoadReport
+from repro.engine.kernel import EventLoop, SimTask, Timeout
+
+__all__ = [
+    "EngineFLStore",
+    "EngineOutcome",
+    "EventLoop",
+    "LoadReport",
+    "SimTask",
+    "Timeout",
+]

@@ -1,0 +1,429 @@
+"""Serving FLStore requests as timed processes on the discrete-event kernel.
+
+:class:`EngineFLStore` is a facade over :class:`repro.core.flstore.FLStore`
+that admits *overlapping* requests.  The analytic core stays the oracle for
+what a request does (which keys it touches, which function executes it, what
+its service latency and dollar cost are); the engine adds what the analytic
+path cannot express:
+
+* requests arrive at virtual times (open-loop load from
+  :mod:`repro.traces.arrivals`) instead of back to back,
+* each execution function admits ``config.serverless.function_concurrency``
+  concurrent requests; excess requests wait in the function's FIFO/priority
+  queue (:class:`repro.serverless.function.RequestQueue`), so *sojourn time*
+  (queue wait + service) degrades under load,
+* keep-alive pings and provider reclamations fire as *scheduled events* on
+  the event heap instead of eager per-request callbacks.
+
+Closed-loop equivalence is the design invariant: when requests arrive
+sequentially (each one after the previous completed), the engine reproduces
+the direct ``FLStore.serve`` path byte for byte — same :class:`ServeResult`
+latencies, costs, hit counts, and routing.  ``tests/test_engine.py`` enforces
+this for every registered workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.engine.kernel import EventLoop, SimTask, Timeout
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.simulation.metrics import RequestRecord
+from repro.simulation.records import LatencyBreakdown
+from repro.workloads.base import WorkloadRequest
+
+
+@dataclass(slots=True)
+class EngineOutcome:
+    """One request's trip through the engine: analytic result plus timing."""
+
+    request: WorkloadRequest
+    result: ServeResult
+    arrived_at: float
+    started_at: float
+    completed_at: float
+
+    @property
+    def wait_seconds(self) -> float:
+        """Time spent queued for an execution slot."""
+        return self.started_at - self.arrived_at
+
+    @property
+    def sojourn_seconds(self) -> float:
+        """Arrival-to-completion time (queue wait + service)."""
+        return self.completed_at - self.arrived_at
+
+    def to_record(self, system: str, model_name: str) -> RequestRecord:
+        """A :class:`RequestRecord` whose queueing component includes the wait."""
+        latency = self.result.latency + LatencyBreakdown(queueing_seconds=self.wait_seconds)
+        return RequestRecord(
+            request_id=self.request.request_id,
+            system=system,
+            workload=self.request.workload,
+            model_name=model_name,
+            round_id=self.request.round_id,
+            latency=latency,
+            cost=self.result.cost,
+            cache_hits=self.result.cache_hits,
+            cache_misses=self.result.cache_misses,
+            client_id=self.request.client_id,
+        )
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one open-loop run (one arrival process, one rate)."""
+
+    label: str
+    submitted: int
+    completed: int
+    offered_rps: float
+    goodput_rps: float
+    horizon_seconds: float
+    mean_sojourn_seconds: float
+    p50_sojourn_seconds: float
+    p95_sojourn_seconds: float
+    p99_sojourn_seconds: float
+    mean_wait_seconds: float
+    mean_service_seconds: float
+    mean_queue_depth: float
+    max_queue_depth: int
+    keepalive_pings: int = 0
+    reclamations: int = 0
+    outcomes: list[EngineOutcome] = field(default_factory=list, repr=False)
+
+    def row(self) -> dict:
+        """The scalar columns of this report (for tables and JSON export)."""
+        return {
+            "process": self.label,
+            "offered_rps": self.offered_rps,
+            "goodput_rps": self.goodput_rps,
+            "completed": self.completed,
+            "p50_sojourn_seconds": self.p50_sojourn_seconds,
+            "p95_sojourn_seconds": self.p95_sojourn_seconds,
+            "p99_sojourn_seconds": self.p99_sojourn_seconds,
+            "mean_wait_seconds": self.mean_wait_seconds,
+            "mean_queue_depth": self.mean_queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    def to_records(self, system: str = "engine-flstore", model_name: str = "unknown") -> list[RequestRecord]:
+        """Per-request :class:`RequestRecord` rows (completion order)."""
+        return [outcome.to_record(system, model_name) for outcome in self.outcomes]
+
+
+class EngineFLStore:
+    """Discrete-event serving facade over an analytic :class:`FLStore`.
+
+    Parameters
+    ----------
+    flstore:
+        The analytic core used as the serving oracle.  It must *not* carry
+        its own fault injector — the engine schedules reclamations as events
+        (pass ``fault_injector`` here instead).
+    loop:
+        Event loop to run on (a fresh one by default).
+    fault_injector:
+        Optional reclamation sampler; fired every
+        ``reclamation_interval_seconds`` of virtual time as a scheduled
+        event rather than eagerly inside each serve.
+    reclamation_interval_seconds:
+        Virtual-time spacing of reclamation events.
+    """
+
+    system_name = "engine-flstore"
+
+    def __init__(
+        self,
+        flstore: FLStore,
+        loop: EventLoop | None = None,
+        fault_injector: ZipfianFaultInjector | None = None,
+        reclamation_interval_seconds: float = 60.0,
+    ) -> None:
+        if flstore.fault_injector is not None:
+            raise ValueError(
+                "the engine schedules reclamations itself; build the FLStore "
+                "without a fault injector and pass it to EngineFLStore instead"
+            )
+        self.flstore = flstore
+        self.loop = loop or EventLoop()
+        self.platform = flstore.platform
+        self.fault_injector = fault_injector
+        self.reclamation_interval_seconds = reclamation_interval_seconds
+        self.keepalive_pings = 0
+        self.reclamations = 0
+        self._outstanding = 0
+        self._waiting = 0
+        self._depth_samples: list[tuple[float, int]] = []
+        self._completed: list[EngineOutcome] = []
+
+    @classmethod
+    def build(
+        cls,
+        config=None,
+        policy_mode: str = "tailored",
+        fault_injector: ZipfianFaultInjector | None = None,
+        **kwargs,
+    ) -> "EngineFLStore":
+        """Build a fresh analytic FLStore and wrap it in an engine facade."""
+        flstore = build_default_flstore(config, policy_mode=policy_mode)
+        return cls(flstore, fault_injector=fault_injector, **kwargs)
+
+    # --------------------------------------------------------- passthroughs
+
+    @property
+    def catalog(self):
+        """The round catalog of the underlying FLStore."""
+        return self.flstore.catalog
+
+    @property
+    def config(self):
+        """The simulation configuration of the underlying FLStore."""
+        return self.flstore.config
+
+    def ingest_round(self, record):
+        """Ingest a training round into the underlying FLStore."""
+        return self.flstore.ingest_round(record)
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: WorkloadRequest, at: float, priority: float = 0.0) -> SimTask:
+        """Schedule ``request`` to arrive at virtual time ``at``.
+
+        Returns the request's task; it resolves with an
+        :class:`EngineOutcome` when the request completes.
+        """
+        task = SimTask(self.loop, name=request.request_id)
+        self._outstanding += 1
+
+        def _arrive() -> None:
+            self.loop.process(self._request_process(request, priority), task=task)
+
+        self.loop.schedule_at(at, _arrive)
+        return task
+
+    def _request_process(self, request: WorkloadRequest, priority: float):
+        """One request as a timed process: serve oracle, queue, execute, release."""
+        arrived_at = self.loop.now
+        result = self.flstore.serve(request)
+        function_id = result.execution_function
+        holds_slot = False
+        if function_id is not None and self.platform.has_function(function_id):
+            if self.platform.try_acquire_slot(function_id):
+                holds_slot = True
+            else:
+                token = SimTask(self.loop, name=f"slot:{request.request_id}")
+                self.platform.enqueue_waiter(function_id, token, priority)
+                self._note_queue_change(+1)
+                granted = yield token
+                self._note_queue_change(-1)
+                # A False grant means the function was reclaimed while the
+                # request waited; it proceeds without holding a slot (its
+                # analytic outcome already happened at arrival).
+                holds_slot = bool(granted)
+        started_at = self.loop.now
+        service_seconds = result.latency.total_seconds
+        if service_seconds > 0:
+            yield Timeout(service_seconds)
+        if holds_slot:
+            next_token = self.platform.release_slot(function_id)
+            if next_token is not None:
+                next_token.resolve(True)
+        outcome = EngineOutcome(
+            request=request,
+            result=result,
+            arrived_at=arrived_at,
+            started_at=started_at,
+            completed_at=self.loop.now,
+        )
+        self._completed.append(outcome)
+        self._outstanding -= 1
+        return outcome
+
+    def _note_queue_change(self, delta: int) -> None:
+        self._waiting += delta
+        self._depth_samples.append((self.loop.now, self._waiting))
+
+    # --------------------------------------------------- lifecycle as events
+
+    def schedule_keepalive(self, interval_seconds: float | None = None) -> None:
+        """Ping warm functions every ``interval_seconds`` of virtual time.
+
+        The recurring event first advances the shared analytic clock to the
+        engine's virtual time (monotonically), then pings every warm
+        function, so ``last_invoked_at`` stamps track the open-loop timeline
+        rather than the analytic per-request one.  It re-arms itself while
+        requests are outstanding — a periodic daemon on the event heap
+        instead of an eager callback per request.
+        """
+        interval = (
+            interval_seconds
+            if interval_seconds is not None
+            else self.flstore.config.serverless.keepalive_interval_seconds
+        )
+        if interval <= 0:
+            raise ValueError(f"keepalive interval must be positive, got {interval}")
+
+        def _ping() -> None:
+            self.flstore.clock.advance_to(self.loop.now)
+            for function in self.platform.warm_functions():
+                self.platform.ping(function.function_id)
+                self.keepalive_pings += 1
+            if self._outstanding > 0:
+                self.loop.schedule(interval, _ping)
+
+        self.loop.schedule(interval, _ping)
+
+    def schedule_reclamations(self, interval_seconds: float | None = None) -> None:
+        """Sample provider reclamations on a timer instead of per request."""
+        if self.fault_injector is None:
+            return
+        interval = (
+            interval_seconds if interval_seconds is not None else self.reclamation_interval_seconds
+        )
+        if interval <= 0:
+            raise ValueError(f"reclamation interval must be positive, got {interval}")
+
+        def _reclaim() -> None:
+            reclaimed = self.fault_injector.sample_reclamations(
+                self.flstore.cluster.function_ids()
+            )
+            for function_id in reclaimed:
+                self.platform.reclaim_function(function_id)
+                self.reclamations += 1
+                # Resuming a waiter (resolve) re-enters its process, which
+                # performs its own queue-depth decrement.
+                for token in self.platform.drain_waiters(function_id):
+                    token.resolve(False)
+            if reclaimed:
+                self.flstore.engine.drop_lost_keys()
+            if self._outstanding > 0:
+                self.loop.schedule(interval, _reclaim)
+
+        self.loop.schedule(interval, _reclaim)
+
+    # ------------------------------------------------------------ run modes
+
+    def run_closed_loop(self, requests: Iterable[WorkloadRequest]) -> list[ServeResult]:
+        """Serve ``requests`` sequentially through the engine.
+
+        Each request arrives exactly when the previous one completed, so no
+        request ever queues and the returned :class:`ServeResult` sequence is
+        byte-identical to calling ``FLStore.serve`` directly.
+        """
+        results: list[ServeResult] = []
+        for request in requests:
+            task = self.submit(request, at=self.loop.now)
+            self.loop.run()
+            results.append(task.result.result)
+        return results
+
+    def run_open_loop(
+        self,
+        requests: Sequence[WorkloadRequest],
+        arrival_times: Sequence[float],
+        priorities: Sequence[float] | None = None,
+        label: str = "open-loop",
+        keepalive: bool = False,
+    ) -> LoadReport:
+        """Serve ``requests`` at the given arrival times; report load metrics.
+
+        ``arrival_times`` come from an arrival process
+        (:mod:`repro.traces.arrivals`) and are relative to the start of this
+        run (the loop's current virtual time), so repeated runs on one
+        engine compose; overlapping requests contend for execution slots and
+        queue per function.  With ``keepalive`` the keep-alive daemon runs
+        as a recurring event; a fault injector (if configured) adds
+        reclamation events.  Per-run counters (queue-depth samples,
+        keep-alive pings, reclamations) are reported per run, not
+        engine-lifetime.
+        """
+        if len(requests) != len(arrival_times):
+            raise ValueError("requests and arrival_times must have the same length")
+        base = self.loop.now
+        absolute_times = [base + float(at) for at in arrival_times]
+        start_count = len(self._completed)
+        pings_before = self.keepalive_pings
+        reclamations_before = self.reclamations
+        self._depth_samples = []
+        for index, (request, at) in enumerate(zip(requests, absolute_times)):
+            priority = priorities[index] if priorities is not None else 0.0
+            self.submit(request, at=at, priority=priority)
+        if keepalive:
+            self.schedule_keepalive()
+        self.schedule_reclamations()
+        self.loop.run()
+        outcomes = self._completed[start_count:]
+        return self._build_report(
+            outcomes,
+            absolute_times,
+            label,
+            keepalive_pings=self.keepalive_pings - pings_before,
+            reclamations=self.reclamations - reclamations_before,
+        )
+
+    # ------------------------------------------------------------- reporting
+
+    def _build_report(
+        self,
+        outcomes: list[EngineOutcome],
+        arrival_times: Sequence[float],
+        label: str,
+        keepalive_pings: int = 0,
+        reclamations: int = 0,
+    ) -> LoadReport:
+        submitted = len(arrival_times)
+        completed = len(outcomes)
+        first_arrival = min(arrival_times) if submitted else 0.0
+        last_completion = max((o.completed_at for o in outcomes), default=first_arrival)
+        horizon = max(last_completion - first_arrival, 0.0)
+        arrival_span = max(arrival_times) - first_arrival if submitted > 1 else 0.0
+        # Degenerate spans (a single request, an instantaneous burst) report
+        # 0.0 rather than infinity so exported JSON stays strictly valid.
+        offered = submitted / arrival_span if arrival_span > 0 else 0.0
+        goodput = completed / horizon if horizon > 0 else 0.0
+        sojourns = np.array([o.sojourn_seconds for o in outcomes], dtype=float)
+        waits = np.array([o.wait_seconds for o in outcomes], dtype=float)
+        services = sojourns - waits
+        mean_depth, max_depth = self._queue_depth_profile(first_arrival, last_completion)
+        return LoadReport(
+            label=label,
+            submitted=submitted,
+            completed=completed,
+            offered_rps=offered,
+            goodput_rps=goodput,
+            horizon_seconds=horizon,
+            mean_sojourn_seconds=float(sojourns.mean()) if completed else 0.0,
+            p50_sojourn_seconds=float(np.percentile(sojourns, 50)) if completed else 0.0,
+            p95_sojourn_seconds=float(np.percentile(sojourns, 95)) if completed else 0.0,
+            p99_sojourn_seconds=float(np.percentile(sojourns, 99)) if completed else 0.0,
+            mean_wait_seconds=float(waits.mean()) if completed else 0.0,
+            mean_service_seconds=float(services.mean()) if completed else 0.0,
+            mean_queue_depth=mean_depth,
+            max_queue_depth=max_depth,
+            keepalive_pings=keepalive_pings,
+            reclamations=reclamations,
+            outcomes=outcomes,
+        )
+
+    def _queue_depth_profile(self, start: float, end: float) -> tuple[float, int]:
+        """Time-weighted mean and maximum of the waiting-request count."""
+        samples = self._depth_samples
+        if not samples or end <= start:
+            return 0.0, max((depth for _, depth in samples), default=0)
+        max_depth = 0
+        weighted = 0.0
+        prev_time = start
+        prev_depth = 0
+        for time_point, depth in samples:
+            clamped = min(max(time_point, start), end)
+            weighted += prev_depth * (clamped - prev_time)
+            prev_time = clamped
+            prev_depth = depth
+            max_depth = max(max_depth, depth)
+        weighted += prev_depth * (end - prev_time)
+        return weighted / (end - start), max_depth

@@ -9,6 +9,7 @@ its co-located CPU executes non-training workloads against those objects.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterator
 
@@ -29,6 +30,47 @@ class _ResidentObject:
     value: Any
     size_bytes: int
     stored_at: float
+
+
+class RequestQueue:
+    """A FIFO or priority queue of opaque waiter tokens.
+
+    The discrete-event engine parks one token per request waiting for an
+    execution slot on a function.  Ordering is deterministic: FIFO pops in
+    arrival order; priority pops by ``(priority, arrival sequence)`` with
+    lower priority values first, so equal priorities degrade to FIFO.
+    """
+
+    __slots__ = ("discipline", "_heap", "_seq")
+
+    def __init__(self, discipline: str = "fifo") -> None:
+        if discipline not in ("fifo", "priority"):
+            raise ValueError(f"unknown queue discipline {discipline!r}")
+        self.discipline = discipline
+        self._heap: list[tuple[float, int, Any]] = []
+        self._seq = 0
+
+    def push(self, token: Any, priority: float = 0.0) -> None:
+        """Enqueue ``token`` (``priority`` is ignored under FIFO)."""
+        key = priority if self.discipline == "priority" else 0.0
+        heapq.heappush(self._heap, (key, self._seq, token))
+        self._seq += 1
+
+    def pop(self) -> Any:
+        """Dequeue the next token (raises ``IndexError`` when empty)."""
+        return heapq.heappop(self._heap)[2]
+
+    def drain(self) -> list[Any]:
+        """Remove and return every queued token in pop order."""
+        drained = [entry[2] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return drained
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
 
 
 #: Module-level alias: avoids an enum descriptor lookup per liveness check.
@@ -68,6 +110,8 @@ class ServerlessFunction:
         "last_invoked_at",
         "stats",
         "free_bytes",
+        "concurrency_limit",
+        "active_executions",
         "_objects",
         "_used_bytes",
     )
@@ -77,15 +121,22 @@ class ServerlessFunction:
         function_id: str,
         memory_limit_bytes: int = 4 * GB,
         cpu_cores: int = 2,
+        concurrency_limit: int = 1,
     ) -> None:
         if memory_limit_bytes <= 0:
             raise ValueError("memory_limit_bytes must be positive")
+        if concurrency_limit <= 0:
+            raise ValueError("concurrency_limit must be positive")
         self.function_id = function_id
         self.memory_limit_bytes = int(memory_limit_bytes)
         self.cpu_cores = cpu_cores
         self.state = FunctionState.WARM
         self.last_invoked_at: float = 0.0
         self.stats = FunctionStats()
+        #: Concurrent executions this instance admits before requests queue.
+        self.concurrency_limit = int(concurrency_limit)
+        #: Executions currently occupying a slot (engine-managed).
+        self.active_executions = 0
         self._objects: dict[Hashable, _ResidentObject] = {}
         #: Running sum of resident object sizes; keeping it incrementally
         #: maintained makes ``free_bytes``/``can_fit`` O(1) on the placement
@@ -184,6 +235,34 @@ class ServerlessFunction:
 
     # --------------------------------------------------------- execution API
 
+    @property
+    def has_execution_slot(self) -> bool:
+        """Whether another request can start executing here right now."""
+        return self.state is _WARM and self.active_executions < self.concurrency_limit
+
+    def begin_execution(self) -> None:
+        """Occupy one concurrency slot (engine bookkeeping).
+
+        Raises
+        ------
+        FunctionReclaimedError
+            If the function has been reclaimed.
+        CapacityError
+            If every concurrency slot is already in use.
+        """
+        self._ensure_warm()
+        if self.active_executions >= self.concurrency_limit:
+            raise CapacityError(
+                f"function {self.function_id} is at its concurrency limit "
+                f"({self.concurrency_limit})"
+            )
+        self.active_executions += 1
+
+    def end_execution(self) -> None:
+        """Release one concurrency slot (no-op past zero, e.g. after reclaim)."""
+        if self.active_executions > 0:
+            self.active_executions -= 1
+
     def record_invocation(self, now: float, busy_seconds: float = 0.0) -> None:
         """Account for one invocation at time ``now`` taking ``busy_seconds``."""
         self._ensure_warm()
@@ -199,6 +278,7 @@ class ServerlessFunction:
         self._objects.clear()
         self._used_bytes = 0
         self.free_bytes = self.memory_limit_bytes
+        self.active_executions = 0
 
     def restore(self) -> None:
         """Re-provision the function after reclamation (memory starts empty)."""

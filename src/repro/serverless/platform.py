@@ -22,7 +22,7 @@ from repro.common.ids import IdGenerator
 from repro.common.units import GB
 from repro.config import PricingConfig, ServerlessConfig
 from repro.network.costs import TransferCostModel
-from repro.serverless.function import ServerlessFunction
+from repro.serverless.function import RequestQueue, ServerlessFunction
 from repro.simulation.clock import SimClock
 from repro.simulation.records import CostBreakdown, LatencyBreakdown, OperationResult
 
@@ -76,6 +76,9 @@ class ServerlessPlatform:
         self._invoke_effects: dict[tuple[float, float], tuple[LatencyBreakdown, CostBreakdown]] = {}
         #: Memoized keep-alive cost per (instance_count, duration_hours).
         self._keepalive_effects: dict[tuple[int, float], CostBreakdown] = {}
+        #: Per-function queues of requests waiting for an execution slot
+        #: (populated by the discrete-event engine; empty on the analytic path).
+        self._queues: dict[str, RequestQueue] = {}
 
     def add_reclamation_listener(self, listener: Callable[[str], None]) -> None:
         """Subscribe to reclamation events (called with the function id).
@@ -109,7 +112,12 @@ class ServerlessPlatform:
                 f"platform already has {len(self._functions)} warm functions "
                 f"(max_warm_functions={self.config.max_warm_functions})"
             )
-        function = ServerlessFunction(self._ids.next(), memory_limit_bytes=memory, cpu_cores=cpu_cores)
+        function = ServerlessFunction(
+            self._ids.next(),
+            memory_limit_bytes=memory,
+            cpu_cores=cpu_cores,
+            concurrency_limit=self.config.function_concurrency,
+        )
         self._functions[function.function_id] = function
         self._warm_cache = None
         self.stats.functions_spawned += 1
@@ -238,6 +246,65 @@ class ServerlessPlatform:
             raise FunctionReclaimedError(function_id)
         function.record_invocation(self.clock.now(), busy_seconds=0.0)
         return OperationResult(value=None)
+
+    # ----------------------------------------------- concurrency & queueing
+    #
+    # The discrete-event engine (repro.engine) executes requests as timed
+    # processes.  Each warm function admits ``concurrency_limit`` concurrent
+    # executions; excess requests park an opaque waiter token in the
+    # function's queue (FIFO or priority, per ``config.queue_discipline``).
+    # The engine owns the tokens; the platform owns the ordering.
+
+    def request_queue(self, function_id: str) -> RequestQueue:
+        """The waiter queue of ``function_id`` (created on first use)."""
+        queue = self._queues.get(function_id)
+        if queue is None:
+            queue = RequestQueue(self.config.queue_discipline)
+            self._queues[function_id] = queue
+        return queue
+
+    def try_acquire_slot(self, function_id: str) -> bool:
+        """Occupy an execution slot on ``function_id`` if one is free now."""
+        function = self.get_function(function_id)
+        if not function.has_execution_slot:
+            return False
+        function.begin_execution()
+        return True
+
+    def enqueue_waiter(self, function_id: str, token: object, priority: float = 0.0) -> None:
+        """Park ``token`` until :meth:`release_slot` hands it a freed slot."""
+        self.request_queue(function_id).push(token, priority)
+
+    def release_slot(self, function_id: str) -> object | None:
+        """Free one slot on ``function_id``; returns the next waiter granted it.
+
+        The freed slot is immediately re-occupied by the head of the queue
+        (if any), whose token is returned so the caller can resume it.
+        Returns ``None`` when nobody was waiting.
+        """
+        function = self._functions.get(function_id)
+        if function is None:
+            return None
+        function.end_execution()
+        queue = self._queues.get(function_id)
+        if queue and function.has_execution_slot:
+            function.begin_execution()
+            return queue.pop()
+        return None
+
+    def drain_waiters(self, function_id: str) -> list[object]:
+        """Remove and return every waiter of ``function_id`` (e.g. on reclaim)."""
+        queue = self._queues.get(function_id)
+        return queue.drain() if queue else []
+
+    def queue_depth(self, function_id: str) -> int:
+        """Requests currently waiting for a slot on ``function_id``."""
+        queue = self._queues.get(function_id)
+        return len(queue) if queue else 0
+
+    def total_queue_depth(self) -> int:
+        """Requests waiting for a slot across the whole fleet."""
+        return sum(len(queue) for queue in self._queues.values())
 
     # ------------------------------------------------------------- billing
 

@@ -48,10 +48,43 @@ class SimClock:
         return self._now
 
     def elapsed(self) -> float:
-        """Seconds elapsed since the clock was created (or last reset)."""
+        """Seconds elapsed since the clock was created (or last reset).
+
+        Examples
+        --------
+        >>> clock = SimClock()
+        >>> _ = clock.advance(4.0)
+        >>> clock.elapsed()
+        4.0
+        >>> clock.reset(10.0)
+        >>> clock.elapsed()
+        0.0
+        >>> _ = clock.advance(2.5)
+        >>> clock.elapsed()
+        2.5
+        """
         return self._now - self._epoch
 
-    def reset(self) -> None:
-        """Reset the clock to zero."""
-        self._now = 0.0
-        self._epoch = 0.0
+    def reset(self, epoch: float = 0.0) -> None:
+        """Reset the clock to ``epoch`` (zero by default).
+
+        Passing an ``epoch`` rebases the clock mid-experiment: ``now()``
+        jumps to ``epoch`` and ``elapsed()`` restarts from zero there, so
+        time-based accrual (keep-alive billing, policy recency) can be
+        measured per phase without discarding the absolute timeline.
+
+        Examples
+        --------
+        >>> clock = SimClock()
+        >>> _ = clock.advance(3.0)
+        >>> clock.reset()
+        >>> (clock.now(), clock.elapsed())
+        (0.0, 0.0)
+        >>> clock.reset(100.0)
+        >>> clock.now()
+        100.0
+        >>> clock.elapsed()
+        0.0
+        """
+        self._now = float(epoch)
+        self._epoch = float(epoch)

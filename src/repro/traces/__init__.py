@@ -1,5 +1,21 @@
-"""Non-training request trace generation."""
+"""Non-training request trace generation and open-loop arrival processes."""
 
+from repro.traces.arrivals import (
+    ARRIVAL_KINDS,
+    ArrivalProcess,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
 from repro.traces.generator import RequestTraceGenerator
 
-__all__ = ["RequestTraceGenerator"]
+__all__ = [
+    "ARRIVAL_KINDS",
+    "ArrivalProcess",
+    "BurstyArrivals",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "RequestTraceGenerator",
+    "make_arrival_process",
+]

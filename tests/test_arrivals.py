@@ -1,0 +1,93 @@
+"""Open-loop arrival processes: determinism, shape, and validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traces.arrivals import (
+    ARRIVAL_KINDS,
+    BurstyArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    make_arrival_process,
+)
+
+
+@pytest.mark.parametrize("kind", ARRIVAL_KINDS)
+class TestEveryProcess:
+    def test_times_are_positive_and_nondecreasing(self, kind):
+        times = make_arrival_process(kind, rate_rps=5.0, seed=7).times(200)
+        assert len(times) == 200
+        assert times[0] > 0
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_same_seed_is_byte_identical(self, kind):
+        first = make_arrival_process(kind, rate_rps=5.0, seed=7).times(100)
+        second = make_arrival_process(kind, rate_rps=5.0, seed=7).times(100)
+        assert first == second
+
+    def test_different_seeds_differ(self, kind):
+        first = make_arrival_process(kind, rate_rps=5.0, seed=7).times(50)
+        second = make_arrival_process(kind, rate_rps=5.0, seed=8).times(50)
+        assert first != second
+
+    def test_empty_request_count(self, kind):
+        assert make_arrival_process(kind, rate_rps=5.0, seed=7).times(0) == []
+
+    def test_mean_rate_matches_nominal_rate(self, kind):
+        process = make_arrival_process(kind, rate_rps=4.0, seed=7)
+        assert process.mean_rate_rps == 4.0
+        # Long-run empirical rate lands near the nominal one (loose factor-2
+        # bounds: these are stochastic processes at a finite sample size).
+        times = process.times(2000)
+        empirical = len(times) / times[-1]
+        assert 0.5 * 4.0 <= empirical <= 2.0 * 4.0
+
+
+class TestPoisson:
+    def test_gap_mean_tracks_rate(self):
+        times = PoissonArrivals(rate_rps=10.0, seed=7).times(5000)
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(0.1, rel=0.1)
+
+
+class TestBursty:
+    def test_on_rate_compensates_off_time(self):
+        process = BurstyArrivals(rate_rps=2.0, seed=7, mean_on_seconds=5.0, mean_off_seconds=15.0)
+        assert process.burst_rate_rps == pytest.approx(8.0)  # 25% duty cycle
+
+    def test_burstier_than_poisson_at_equal_rate(self):
+        # The squared coefficient of variation of the gaps exceeds 1 (the
+        # Poisson value) for an interrupted Poisson process.
+        bursty = BurstyArrivals(rate_rps=2.0, seed=7).times(4000)
+        gaps = np.diff(bursty)
+        cv2 = np.var(gaps) / np.mean(gaps) ** 2
+        assert cv2 > 1.2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BurstyArrivals(rate_rps=1.0, mean_on_seconds=0.0)
+
+
+class TestDiurnal:
+    def test_rate_modulation_spans_peak_and_trough(self):
+        process = DiurnalArrivals(rate_rps=10.0, seed=7, amplitude=0.8, period_seconds=100.0)
+        assert process._rate_at(25.0) == pytest.approx(18.0)  # peak of the sinusoid
+        assert process._rate_at(75.0) == pytest.approx(2.0)  # trough
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate_rps=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate_rps=1.0, period_seconds=0.0)
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("weibull", rate_rps=1.0)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            make_arrival_process("poisson", rate_rps=0.0)

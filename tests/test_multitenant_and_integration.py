@@ -120,3 +120,51 @@ class TestFrameworkAdapter:
         result = flstore.serve(flstore.make_request("cosine_similarity", round_id=2))
         assert result.cache_misses == 0
         assert len(result.result["clients"]) == 4
+
+
+class TestTenantClocks:
+    @pytest.fixture()
+    def populated(self, small_config, rounds):
+        manager = MultiTenantFLStore(small_config)
+        manager.register_tenant("tenant-a")
+        manager.register_tenant("tenant-b")
+        for record in rounds[:3]:
+            manager.ingest_round("tenant-a", record)
+            manager.ingest_round("tenant-b", record)
+        return manager
+
+    @staticmethod
+    def _request(manager, tenant_id):
+        return manager.tenant(tenant_id).flstore.make_request("inference", round_id=2)
+
+    def test_serve_accepts_now_and_advances_only_that_tenant(self, populated):
+        clock_a = populated.tenant("tenant-a").flstore.clock
+        clock_b = populated.tenant("tenant-b").flstore.clock
+        assert clock_a is not clock_b
+        populated.serve("tenant-a", self._request(populated, "tenant-a"), now=100.0)
+        assert clock_a.now() >= 100.0
+        assert clock_b.now() < 100.0  # tenant-b's clock never moved
+
+    def test_interleaved_tenants_keep_independent_timelines(self, populated):
+        clock_a = populated.tenant("tenant-a").flstore.clock
+        clock_b = populated.tenant("tenant-b").flstore.clock
+        populated.serve("tenant-a", self._request(populated, "tenant-a"), now=200.0)
+        a_after_first = clock_a.now()
+        populated.serve("tenant-b", self._request(populated, "tenant-b"), now=50.0)
+        # Serving tenant-b advances only its own clock, to its own timestamp.
+        assert clock_a.now() == a_after_first
+        assert 50.0 <= clock_b.now() < a_after_first
+
+    def test_now_is_monotonic_per_tenant(self, populated):
+        clock_a = populated.tenant("tenant-a").flstore.clock
+        populated.serve("tenant-a", self._request(populated, "tenant-a"), now=300.0)
+        reached = clock_a.now()
+        # A stale timestamp must not rewind the tenant's clock.
+        populated.serve("tenant-a", self._request(populated, "tenant-a"), now=10.0)
+        assert clock_a.now() >= reached
+
+    def test_ingest_round_accepts_now(self, small_config, fresh_rounds):
+        manager = MultiTenantFLStore(small_config)
+        manager.register_tenant("tenant-a")
+        manager.ingest_round("tenant-a", fresh_rounds[0], now=42.0)
+        assert manager.tenant("tenant-a").flstore.clock.now() >= 42.0

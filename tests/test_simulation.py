@@ -146,3 +146,31 @@ class TestMetrics:
         assert len(collector) == 2
         collector.clear()
         assert len(collector) == 0
+
+
+class TestSimClockEpochReset:
+    def test_reset_to_epoch_rebases_now_and_elapsed(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.reset(100.0)
+        assert clock.now() == 100.0
+        assert clock.elapsed() == 0.0
+        clock.advance(2.0)
+        assert clock.now() == 102.0
+        assert clock.elapsed() == 2.0
+
+    def test_plain_reset_still_returns_to_zero(self):
+        clock = SimClock()
+        clock.advance(3.5)
+        clock.reset()
+        assert clock.now() == 0.0
+        assert clock.elapsed() == 0.0
+
+    def test_clock_docstrings_are_doctested(self):
+        import doctest
+
+        import repro.simulation.clock as clock_module
+
+        result = doctest.testmod(clock_module)
+        assert result.attempted > 0
+        assert result.failed == 0

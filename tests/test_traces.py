@@ -109,3 +109,32 @@ class TestTraceStats:
         a = RequestTraceGenerator(flstore.catalog, seed=1).most_active_client()
         b = RequestTraceGenerator(flstore.catalog, seed=2).most_active_client()
         assert a == b
+
+
+class TestMixedTraceDeterminism:
+    WORKLOADS = ["inference", "clustering", "debugging"]
+
+    @staticmethod
+    def _fingerprint(trace):
+        return [(r.request_id, r.workload, r.round_id, r.client_id) for r in trace]
+
+    def test_same_seed_across_two_generator_instances(self, flstore):
+        first = RequestTraceGenerator(flstore.catalog, seed=9)
+        second = RequestTraceGenerator(flstore.catalog, seed=9)
+        trace_a = first.mixed_trace(self.WORKLOADS, 40)
+        trace_b = second.mixed_trace(self.WORKLOADS, 40)
+        assert self._fingerprint(trace_a) == self._fingerprint(trace_b)
+
+    def test_different_seeds_produce_different_mixes(self, flstore):
+        trace_a = RequestTraceGenerator(flstore.catalog, seed=9).mixed_trace(self.WORKLOADS, 40)
+        trace_b = RequestTraceGenerator(flstore.catalog, seed=10).mixed_trace(self.WORKLOADS, 40)
+        assert [r.workload for r in trace_a] != [r.workload for r in trace_b]
+
+    def test_stats_totals_match_the_emitted_trace(self, flstore):
+        generator = RequestTraceGenerator(flstore.catalog, seed=9)
+        trace = generator.mixed_trace(self.WORKLOADS, 30)
+        stats = RequestTraceGenerator.stats(trace)
+        assert stats.num_requests == len(trace) == 30
+        assert set(stats.workloads) == {r.workload for r in trace}
+        assert stats.first_round == min(r.round_id for r in trace)
+        assert stats.last_round == max(r.round_id for r in trace)
