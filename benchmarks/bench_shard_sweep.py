@@ -1,0 +1,75 @@
+"""Shard-sweep benchmark — routing and admission overhead of the sharded tier.
+
+Runs the shard count x utilization sweep through the routed front door
+(:class:`repro.engine.sharded.ShardedEngineFLStore`) at a reduced scale and
+merges the resulting rows into ``BENCH_serve.json`` under the
+``shard_sweep`` section.  The sweep's wall time is also published as the
+top-level ``shard_sweep_wall_seconds`` scalar so the CI perf gate
+(``benchmarks/check_perf_gate.py --key shard_sweep_wall_seconds``)
+regression-gates the routing + admission-control overhead alongside the
+closed-loop serve hot path.
+"""
+
+import time
+
+from repro.analysis.experiments import run_shard_sweep
+from repro.analysis.perf import merge_bench_json, merge_bench_scalar
+
+
+def test_shard_sweep(report):
+    timing = {}
+
+    def run():
+        start = time.perf_counter()
+        result = run_shard_sweep(
+            shard_counts=(1, 2, 4),
+            utilizations=(1.0, 2.0),
+            num_rounds=8,
+            num_requests=48,
+            max_queue_depth=4,
+            shed_policy="drop",
+        )
+        timing["wall_seconds"] = time.perf_counter() - start
+        return result
+
+    result = report(
+        run,
+        "Shard sweep (routed serving tier)",
+        columns=[
+            "shards",
+            "utilization",
+            "offered_rps",
+            "goodput_rps",
+            "p50_sojourn_seconds",
+            "p99_sojourn_seconds",
+            "shed_rate",
+            "violation_rate",
+            "served",
+            "shed",
+            "degraded",
+            "conserved",
+        ],
+    )
+    rows = result["rows"]
+    merge_bench_json(
+        "shard_sweep",
+        {
+            "rows": rows,
+            "mean_service_seconds": result["mean_service_seconds"],
+            "max_queue_depth": result["max_queue_depth"],
+            "shed_policy": result["shed_policy"],
+            "wall_seconds": timing["wall_seconds"],
+        },
+    )
+    merge_bench_scalar("shard_sweep_wall_seconds", timing["wall_seconds"])
+
+    assert len(rows) == 6  # 3 shard counts x 2 utilization levels
+    for row in rows:
+        # Shed requests are conserved: every offered request is accounted for.
+        assert row["conserved"] is True
+        assert row["served"] + row["shed"] + row["degraded"] == 48
+        assert row["p99_sojourn_seconds"] >= row["p50_sojourn_seconds"]
+    by_point = {(row["shards"], row["utilization"]): row for row in rows}
+    # Overload (rho=2 against one shard's capacity) must shed behind a
+    # 4-deep queue on a single shard.
+    assert by_point[(1, 2.0)]["shed"] > 0

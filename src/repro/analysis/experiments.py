@@ -16,6 +16,7 @@ checks (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -26,6 +27,8 @@ from repro.analysis.runner import map_tasks, prepare_setup, run_trace
 from repro.config import SimulationConfig
 from repro.core.flstore import build_default_flstore
 from repro.engine.flstore import EngineFLStore
+from repro.engine.sharded import ShardedEngineFLStore
+from repro.routing import make_router
 from repro.fl.models import EVALUATION_MODELS
 from repro.simulation.metrics import MetricsCollector, MetricSummary, summarize_records
 from repro.traces.arrivals import ARRIVAL_KINDS, make_arrival_process
@@ -756,6 +759,22 @@ def calibrate_service_time(
     return float(np.mean([r.latency.total_seconds for r in results]))
 
 
+def _load_sweep_cell(task: tuple) -> dict:
+    """One (arrival process, utilization) sweep point (module-level: picklable)."""
+    (model_name, workloads, kind, rho, rate, num_rounds, num_requests, seed, slo_seconds) = task
+    config = _experiment_config(model_name, seed=seed)
+    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+    engine = EngineFLStore(setup.flstore)
+    trace = _load_sweep_trace(setup, workloads, num_requests)
+    arrivals = make_arrival_process(kind, rate, seed=seed).times(len(trace))
+    report = engine.run_open_loop(
+        trace, arrivals, label=kind, keepalive=True, slo_seconds=slo_seconds
+    )
+    row = {"process": kind, "utilization": rho}
+    row.update(report.row())
+    return row
+
+
 def run_load_sweep(
     model_name: str = "efficientnet_v2_small",
     workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
@@ -764,15 +783,20 @@ def run_load_sweep(
     num_rounds: int = 12,
     num_requests: int = 120,
     seed: int = 7,
+    slo_multiplier: float = 3.0,
+    workers: int | None = None,
 ) -> dict:
     """Open-loop load sweep: arrival process x offered utilization.
 
     For every arrival process and utilization level, a fresh FLStore serves
     the same deterministic request mix through the discrete-event engine
     with arrivals drawn from the process at rate ``rho / E[S]``.  Each row
-    reports offered load vs goodput, p50/p95/p99 sojourn time, and queue
-    depth — the load-dependent behaviour the closed-loop figures cannot
-    show.  Everything is a pure function of ``seed``.
+    reports offered load vs goodput, p50/p95/p99 sojourn time, queue depth,
+    and admission accounting (shed rate, SLO-violation rate against an SLO
+    of ``slo_multiplier * E[S]``) — the load-dependent behaviour the
+    closed-loop figures cannot show.  Sweep cells are independent, so
+    ``workers > 1`` fans them out to worker processes (same rows, input
+    order).  Everything is a pure function of ``seed``.
     """
     mean_service = calibrate_service_time(
         model_name,
@@ -781,22 +805,151 @@ def run_load_sweep(
         num_requests=num_requests,
         seed=seed,
     )
-    config = _experiment_config(model_name, seed=seed)
-    rows = []
-    for kind in processes:
-        for rho in utilizations:
-            rate = rho / mean_service
-            setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
-            engine = EngineFLStore(setup.flstore)
-            trace = _load_sweep_trace(setup, workloads, num_requests)
-            arrivals = make_arrival_process(kind, rate, seed=seed).times(len(trace))
-            report = engine.run_open_loop(trace, arrivals, label=kind, keepalive=True)
-            row = {"process": kind, "utilization": rho}
-            row.update(report.row())
-            rows.append(row)
+    slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
+    tasks = [
+        (
+            model_name,
+            tuple(workloads),
+            kind,
+            rho,
+            rho / mean_service,
+            num_rounds,
+            num_requests,
+            seed,
+            slo_seconds,
+        )
+        for kind in processes
+        for rho in utilizations
+    ]
+    rows = map_tasks(_load_sweep_cell, tasks, workers=workers)
     return {
         "rows": rows,
         "mean_service_seconds": mean_service,
+        "slo_seconds": slo_seconds,
+        "num_requests": num_requests,
+        "workloads": list(workloads),
+        "seed": seed,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Shard sweep — shard count x offered utilization through the routed tier
+# ---------------------------------------------------------------------------
+
+
+def _shard_sweep_cell(task: tuple) -> dict:
+    """One (shard count, utilization) sweep point (module-level: picklable)."""
+    (
+        model_name,
+        workloads,
+        process_kind,
+        num_shards,
+        rho,
+        rate,
+        num_rounds,
+        num_requests,
+        seed,
+        max_queue_depth,
+        shed_policy,
+        router_kind,
+        slo_seconds,
+    ) = task
+    config = _experiment_config(model_name, seed=seed)
+    config = replace(
+        config,
+        serverless=replace(
+            config.serverless, max_queue_depth=max_queue_depth, shed_policy=shed_policy
+        ),
+    )
+    # Every shard is a full, independently ingested store; repeated
+    # prepare_setup calls hand out independent snapshot copies.
+    setups = [
+        prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+        for _ in range(num_shards)
+    ]
+    store = ShardedEngineFLStore(
+        [setup.flstore for setup in setups],
+        router=make_router(router_kind, num_shards),
+    )
+    trace = _load_sweep_trace(setups[0], workloads, num_requests)
+    arrivals = make_arrival_process(process_kind, rate, seed=seed).times(len(trace))
+    report = store.run_open_loop(
+        trace, arrivals, label=process_kind, keepalive=True, slo_seconds=slo_seconds
+    )
+    row = {"shards": num_shards, "process": process_kind, "utilization": rho}
+    row.update(report.row())
+    row["conserved"] = report.served + report.degraded + report.shed == report.submitted
+    row["max_shard_routed"] = max(store.routed_counts)
+    row["cached_bytes"] = store.cached_bytes
+    row["live_keys"] = store.live_key_count
+    row["warm_functions"] = store.warm_function_count
+    return row
+
+
+def run_shard_sweep(
+    model_name: str = "efficientnet_v2_small",
+    workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
+    process: str = "bursty",
+    shard_counts: Sequence[int] = (1, 2, 4),
+    utilizations: Sequence[float] = (0.5, 1.0, 2.0),
+    num_rounds: int = 12,
+    num_requests: int = 120,
+    seed: int = 7,
+    max_queue_depth: int = 8,
+    shed_policy: str = "drop",
+    router_kind: str = "consistent-hash",
+    slo_multiplier: float = 3.0,
+    workers: int | None = None,
+) -> dict:
+    """Shard sweep: shard count x offered utilization through the routed tier.
+
+    Offered rates are ``rho / E[S]`` with ``E[S]`` the *single-shard* mean
+    service time, so ``utilization`` reads as load relative to one shard's
+    capacity: at ``rho = 2.0`` one shard is overloaded twice over while
+    four shards (if the router balances the mix) sit at ~0.5 each.  Each
+    cell serves the same deterministic request mix through a fresh
+    ``ShardedEngineFLStore`` with per-shard admission control
+    (``max_queue_depth`` waiting requests, ``shed_policy`` on overflow) and
+    reports goodput, p50/p99 sojourn, shed/violation rates, and the
+    conservation check ``served + degraded + shed == offered``.  Cells are
+    independent; ``workers > 1`` fans them out to worker processes.
+    """
+    mean_service = calibrate_service_time(
+        model_name,
+        workloads=workloads,
+        num_rounds=num_rounds,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
+    tasks = [
+        (
+            model_name,
+            tuple(workloads),
+            process,
+            int(num_shards),
+            rho,
+            rho / mean_service,
+            num_rounds,
+            num_requests,
+            seed,
+            max_queue_depth,
+            shed_policy,
+            router_kind,
+            slo_seconds,
+        )
+        for num_shards in shard_counts
+        for rho in utilizations
+    ]
+    rows = map_tasks(_shard_sweep_cell, tasks, workers=workers)
+    return {
+        "rows": rows,
+        "mean_service_seconds": mean_service,
+        "slo_seconds": slo_seconds,
+        "process": process,
+        "max_queue_depth": max_queue_depth,
+        "shed_policy": shed_policy,
+        "router": router_kind,
         "num_requests": num_requests,
         "workloads": list(workloads),
         "seed": seed,

@@ -156,3 +156,15 @@ def merge_bench_json(section: str, payload: dict, path: str = "BENCH_serve.json"
     data = _read_bench_json(path)
     data[section] = payload
     return _write_payload(data, path)
+
+
+def merge_bench_scalar(key: str, value: float, path: str = "BENCH_serve.json") -> str:
+    """Merge one top-level scalar into the perf record at ``path``.
+
+    ``benchmarks/check_perf_gate.py`` compares top-level numeric keys, so
+    benchmarks that want their wall time regression-gated (e.g. the shard
+    sweep) publish it through this helper.
+    """
+    data = _read_bench_json(path)
+    data[key] = value
+    return _write_payload(data, path)

@@ -7,6 +7,8 @@ Usage examples::
     python -m repro.cli run table2 --out table2.json # save the rows as JSON
     python -m repro.cli run fig7 --parallel          # fan model sweeps out to worker processes
     python -m repro.cli run fig11 --workers 4        # explicit worker count
+    python -m repro.cli run-load --workers 4         # open-loop load sweep, parallel cells
+    python -m repro.cli run-shard-sweep --shards 1,2,4 --shed-policy drop
     python -m repro.cli workloads                     # show the workload taxonomy
 """
 
@@ -23,6 +25,8 @@ from repro.analysis.export import export_csv, export_json
 from repro.analysis.perf import tune_gc
 from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
+from repro.config import SHED_POLICIES
+from repro.routing import ROUTER_KINDS
 from repro.traces.arrivals import ARRIVAL_KINDS
 from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
 
@@ -106,7 +110,84 @@ def _build_parser() -> argparse.ArgumentParser:
         default="0.5,1.0,2.0",
         help="comma-separated offered utilizations (multiples of the service rate)",
     )
+    load.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sweep cells out to this many worker processes",
+    )
+    load.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --workers <CPU count>",
+    )
     load.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
+
+    shard = sub.add_parser(
+        "run-shard-sweep",
+        help="shard count x utilization sweep through the routed serving tier",
+        description=(
+            "Serve the load-sweep request mix on a ShardedEngineFLStore at "
+            "several shard counts and offered utilizations, with per-shard "
+            "admission control, and print goodput, p50/p99 sojourn, shed "
+            "rate, and SLO-violation rate per sweep cell."
+        ),
+    )
+    shard.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
+    shard.add_argument("--requests", type=int, default=120, help="requests per sweep point")
+    shard.add_argument("--seed", type=int, default=7, help="simulation seed")
+    shard.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
+    shard.add_argument(
+        "--process",
+        type=str,
+        default="bursty",
+        choices=ARRIVAL_KINDS,
+        help="arrival process driving every sweep cell",
+    )
+    shard.add_argument(
+        "--shards",
+        type=str,
+        default="1,2,4",
+        help="comma-separated shard counts to sweep",
+    )
+    shard.add_argument(
+        "--utilizations",
+        type=str,
+        default="0.5,1.0,2.0",
+        help="comma-separated offered utilizations (multiples of one shard's service rate)",
+    )
+    shard.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=8,
+        help="admission bound: waiting requests allowed per shard (0 = unbounded)",
+    )
+    shard.add_argument(
+        "--shed-policy",
+        type=str,
+        default="drop",
+        choices=SHED_POLICIES,
+        help="what happens to arrivals refused admission",
+    )
+    shard.add_argument(
+        "--router",
+        type=str,
+        default="consistent-hash",
+        choices=ROUTER_KINDS,
+        help="key-to-shard placement",
+    )
+    shard.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sweep cells out to this many worker processes",
+    )
+    shard.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --workers <CPU count>",
+    )
+    shard.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
     return parser
 
 
@@ -138,16 +219,37 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     tune_gc()
-    if args.command == "run-load":
-        result = E.run_load_sweep(
-            model_name=args.model,
-            processes=tuple(p.strip() for p in args.processes.split(",") if p.strip()),
-            utilizations=tuple(float(u) for u in args.utilizations.split(",") if u.strip()),
-            num_rounds=args.rounds,
-            num_requests=args.requests,
-            seed=args.seed,
-        )
-        print(format_table(result["rows"], title="Open-loop load sweep (engine)"))
+    if args.command in ("run-load", "run-shard-sweep"):
+        workers = args.workers
+        if workers is None and args.parallel:
+            workers = os.cpu_count() or 1
+        if args.command == "run-load":
+            title = "Open-loop load sweep (engine)"
+            result = E.run_load_sweep(
+                model_name=args.model,
+                processes=tuple(p.strip() for p in args.processes.split(",") if p.strip()),
+                utilizations=tuple(float(u) for u in args.utilizations.split(",") if u.strip()),
+                num_rounds=args.rounds,
+                num_requests=args.requests,
+                seed=args.seed,
+                workers=workers,
+            )
+        else:
+            title = "Shard sweep (routed serving tier)"
+            result = E.run_shard_sweep(
+                model_name=args.model,
+                process=args.process,
+                shard_counts=tuple(int(s) for s in args.shards.split(",") if s.strip()),
+                utilizations=tuple(float(u) for u in args.utilizations.split(",") if u.strip()),
+                num_rounds=args.rounds,
+                num_requests=args.requests,
+                seed=args.seed,
+                max_queue_depth=args.max_queue_depth,
+                shed_policy=args.shed_policy,
+                router_kind=args.router,
+                workers=workers,
+            )
+        print(format_table(result["rows"], title=title))
         print(
             "summary:",
             {k: v for k, v in result.items() if k != "rows" and not isinstance(v, (list, dict))},

@@ -138,6 +138,10 @@ class PricingConfig:
                 raise ConfigurationError(f"pricing value {name} must be non-negative")
 
 
+#: Shedding policies of the admission controller (see ``ServerlessConfig``).
+SHED_POLICIES: tuple[str, ...] = ("drop", "degrade-to-objstore")
+
+
 @dataclass(frozen=True)
 class ServerlessConfig:
     """Parameters of the serverless platform emulator."""
@@ -167,6 +171,15 @@ class ServerlessConfig:
     #: Discipline of the per-function request queue used by the discrete-event
     #: engine: ``"fifo"`` or ``"priority"`` (lower priority value served first).
     queue_discipline: str = "fifo"
+    #: Admission control: maximum number of requests allowed to wait for an
+    #: execution slot on one serving shard (and on any one function queue).
+    #: ``0`` means unbounded — every request is admitted, the PR-2 behaviour.
+    max_queue_depth: int = 0
+    #: What happens to a request that arrives while the queue is full:
+    #: ``"drop"`` rejects it outright, ``"degrade-to-objstore"`` serves it on
+    #: a slow bypass path (cold function + object-store fetches) that never
+    #: touches the serving tier's cache or queues.
+    shed_policy: str = "drop"
 
     def __post_init__(self) -> None:
         if self.default_function_memory_bytes > self.max_function_memory_bytes:
@@ -182,6 +195,12 @@ class ServerlessConfig:
         if self.queue_discipline not in ("fifo", "priority"):
             raise ConfigurationError(
                 f"queue_discipline must be 'fifo' or 'priority', got {self.queue_discipline!r}"
+            )
+        if self.max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be >= 0 (0 means unbounded)")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"shed_policy must be one of {SHED_POLICIES}, got {self.shed_policy!r}"
             )
 
 
@@ -261,6 +280,7 @@ __all__ = [
     "FLJobConfig",
     "NetworkConfig",
     "PricingConfig",
+    "SHED_POLICIES",
     "ServerlessConfig",
     "SimulationConfig",
 ]

@@ -330,6 +330,16 @@ class ServerlessCacheCluster:
         """Logical bytes of primary copies tracked by the cluster."""
         return self._tracked_bytes
 
+    @property
+    def live_key_count(self) -> int:
+        """Number of keys with at least one live cached copy.
+
+        Lost keys linger in the index (with zero live copies) until
+        :meth:`drop_lost_keys` collects them, so this counts non-empty
+        entries rather than index size.
+        """
+        return sum(1 for copies in self._live_copies.values() if copies)
+
     def primary_function_of(self, key: DataKey) -> str | None:
         """Primary placement of ``key`` (even if currently reclaimed)."""
         return self._primary.get(key)

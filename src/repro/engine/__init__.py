@@ -3,19 +3,37 @@
 :mod:`repro.engine.kernel` provides the generic substrate (event heap,
 :class:`SimTask` futures, generator processes); :mod:`repro.engine.flstore`
 builds the serving semantics on top: overlapping requests, per-function
-concurrency limits with FIFO/priority queues, and keep-alive/reclamation as
-scheduled events.  Open-loop arrival processes live in
-:mod:`repro.traces.arrivals`.
+concurrency limits with FIFO/priority queues, admission control with
+shedding (drop / degrade-to-objstore), and keep-alive/reclamation as
+scheduled events.  :mod:`repro.engine.sharded` puts a routing front door
+over N independent engine-backed shards on one shared event loop.
+Open-loop arrival processes live in :mod:`repro.traces.arrivals`; key-to-
+shard placement lives in :mod:`repro.routing`.
 """
 
-from repro.engine.flstore import EngineFLStore, EngineOutcome, LoadReport
+from repro.engine.flstore import (
+    DISPOSITIONS,
+    EngineFLStore,
+    EngineOutcome,
+    LoadReport,
+    build_load_report,
+    rejection_result,
+    serve_degraded,
+)
 from repro.engine.kernel import EventLoop, SimTask, Timeout
+from repro.engine.sharded import ShardedEngineFLStore, merge_depth_samples
 
 __all__ = [
+    "DISPOSITIONS",
     "EngineFLStore",
     "EngineOutcome",
     "EventLoop",
     "LoadReport",
+    "ShardedEngineFLStore",
     "SimTask",
     "Timeout",
+    "build_load_report",
+    "merge_depth_samples",
+    "rejection_result",
+    "serve_degraded",
 ]

@@ -29,12 +29,27 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.common.units import GB
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.kernel import EventLoop, SimTask, Timeout
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.metrics import RequestRecord
-from repro.simulation.records import LatencyBreakdown
+from repro.simulation.records import (
+    CostAccumulator,
+    CostBreakdown,
+    LatencyAccumulator,
+    LatencyBreakdown,
+)
 from repro.workloads.base import WorkloadRequest
+from repro.workloads.registry import get_workload
+
+#: How a request left the engine:
+#: ``served`` — executed on the serving tier (possibly after queueing);
+#: ``requeued`` — its function was reclaimed while it waited, so it finished
+#: without holding a slot (the PR-2 behaviour, now accounted for);
+#: ``degraded`` — shed by admission control onto the object-store bypass;
+#: ``shed`` — rejected outright at a full queue.
+DISPOSITIONS: tuple[str, ...] = ("served", "requeued", "degraded", "shed")
 
 
 @dataclass(slots=True)
@@ -46,6 +61,13 @@ class EngineOutcome:
     arrived_at: float
     started_at: float
     completed_at: float
+    disposition: str = "served"
+
+    def __post_init__(self) -> None:
+        if self.disposition not in DISPOSITIONS:
+            raise ValueError(
+                f"unknown disposition {self.disposition!r}; expected one of {DISPOSITIONS}"
+            )
 
     @property
     def wait_seconds(self) -> float:
@@ -74,6 +96,82 @@ class EngineOutcome:
         )
 
 
+def rejection_result(flstore: FLStore, request: WorkloadRequest) -> ServeResult:
+    """The :class:`ServeResult` of a request rejected by admission control.
+
+    The client still pays the front-door round trip to learn about the
+    rejection; nothing executes, so there is no compute latency or cost.
+    """
+    return ServeResult(
+        request_id=request.request_id,
+        workload=request.workload,
+        result={"admitted": False, "shed_policy": "drop"},
+        latency=LatencyBreakdown(communication_seconds=flstore.topology.client.rtt_seconds),
+        cost=CostBreakdown.zero(),
+    )
+
+
+def serve_degraded(flstore: FLStore, request: WorkloadRequest) -> ServeResult:
+    """Serve ``request`` on the degraded object-store bypass path.
+
+    Models the ``degrade-to-objstore`` shedding policy: an ephemeral cold
+    function fetches every required object from the persistent store,
+    computes the workload, and writes the result back — never touching the
+    serving tier's cache, queues, policies, or analytic clock, so admitted
+    traffic is byte-unaffected by concurrent degraded serves.  The latency
+    is dominated by the cold start plus the object-store fetches, which is
+    exactly the regime FLStore exists to avoid; shedding onto it trades
+    tail latency for availability.
+    """
+    workload = get_workload(request.workload)
+    required = workload.required_keys(request, flstore.catalog)
+    serverless = flstore.config.serverless
+    latency = LatencyAccumulator()
+    cost = CostAccumulator()
+    latency.add_communication(flstore.topology.client.rtt_seconds)
+    latency.add(LatencyBreakdown(cold_start_seconds=serverless.cold_start_seconds))
+
+    data = {}
+    fetch_seconds = 0.0
+    for key in required:
+        fetch_latency, fetch_cost, value = flstore._fetch_from_persistent(key)
+        latency.add(fetch_latency)
+        cost.add(fetch_cost)
+        fetch_seconds += fetch_latency.total_seconds
+        if value is not None:
+            data[key] = value
+
+    compute_seconds = workload.compute_seconds(flstore.model_spec, max(len(required), 1))
+    latency.add(
+        LatencyBreakdown(
+            computation_seconds=compute_seconds,
+            communication_seconds=serverless.invocation_overhead_seconds,
+        )
+    )
+    # The ephemeral function is occupied (and billed) for the fetches and
+    # the compute; it holds no cache, so it is billed at the default size.
+    memory_gb = serverless.default_function_memory_bytes / GB
+    billed_seconds = max(fetch_seconds + compute_seconds, 0.001)
+    cost.add(flstore.cost_model.lambda_execution_cost(memory_gb, billed_seconds))
+
+    result = workload.compute(request, data)
+    latency.add_communication(flstore.topology.client.transfer_seconds(workload.result_size_bytes))
+    store_result = flstore.persistent_store.put(
+        ("result", request.request_id), result, size_bytes=workload.result_size_bytes
+    )
+    cost.add(store_result.cost)  # asynchronous: cost counted, latency off the critical path
+
+    return ServeResult(
+        request_id=request.request_id,
+        workload=request.workload,
+        result=result,
+        latency=latency.finalize(),
+        cost=cost.finalize(),
+        cache_hits=0,
+        cache_misses=len(required),
+    )
+
+
 @dataclass
 class LoadReport:
     """Aggregate outcome of one open-loop run (one arrival process, one rate)."""
@@ -94,6 +192,18 @@ class LoadReport:
     max_queue_depth: int
     keepalive_pings: int = 0
     reclamations: int = 0
+    #: Admission-control accounting: every submitted request ends up in
+    #: exactly one of served / requeued / degraded / shed, so
+    #: ``served + requeued + degraded + shed == submitted`` always holds.
+    served: int = 0
+    requeued: int = 0
+    degraded: int = 0
+    shed: int = 0
+    shed_rate: float = 0.0
+    #: Fraction of completed (non-shed) requests whose sojourn exceeded the
+    #: SLO (0.0 when no SLO was set for the run).
+    violation_rate: float = 0.0
+    slo_seconds: float | None = None
     outcomes: list[EngineOutcome] = field(default_factory=list, repr=False)
 
     def row(self) -> dict:
@@ -109,11 +219,102 @@ class LoadReport:
             "mean_wait_seconds": self.mean_wait_seconds,
             "mean_queue_depth": self.mean_queue_depth,
             "max_queue_depth": self.max_queue_depth,
+            "served": self.served,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "requeued": self.requeued,
+            "shed_rate": self.shed_rate,
+            "violation_rate": self.violation_rate,
         }
 
     def to_records(self, system: str = "engine-flstore", model_name: str = "unknown") -> list[RequestRecord]:
         """Per-request :class:`RequestRecord` rows (completion order)."""
         return [outcome.to_record(system, model_name) for outcome in self.outcomes]
+
+
+def build_load_report(
+    outcomes: list[EngineOutcome],
+    arrival_times: Sequence[float],
+    label: str,
+    depth_samples: Sequence[tuple[float, int]],
+    keepalive_pings: int = 0,
+    reclamations: int = 0,
+    slo_seconds: float | None = None,
+) -> LoadReport:
+    """Aggregate ``outcomes`` into a :class:`LoadReport`.
+
+    Shared by :class:`EngineFLStore` and the sharded front door
+    (:class:`repro.engine.sharded.ShardedEngineFLStore`), so a one-shard
+    sharded run reports through exactly the same code path as the plain
+    engine.  Sojourn statistics cover completed (non-shed) requests; shed
+    rejections count toward ``shed``/``shed_rate`` only.
+    """
+    submitted = len(arrival_times)
+    finished = [o for o in outcomes if o.disposition != "shed"]
+    served = sum(1 for o in outcomes if o.disposition in ("served", "requeued"))
+    requeued = sum(1 for o in outcomes if o.disposition == "requeued")
+    degraded = sum(1 for o in outcomes if o.disposition == "degraded")
+    shed = len(outcomes) - len(finished)
+    completed = len(finished)
+    first_arrival = min(arrival_times) if submitted else 0.0
+    last_completion = max((o.completed_at for o in outcomes), default=first_arrival)
+    horizon = max(last_completion - first_arrival, 0.0)
+    arrival_span = max(arrival_times) - first_arrival if submitted > 1 else 0.0
+    # Degenerate spans (a single request, an instantaneous burst) report
+    # 0.0 rather than infinity so exported JSON stays strictly valid.
+    offered = submitted / arrival_span if arrival_span > 0 else 0.0
+    goodput = served / horizon if horizon > 0 else 0.0
+    sojourns = np.array([o.sojourn_seconds for o in finished], dtype=float)
+    waits = np.array([o.wait_seconds for o in finished], dtype=float)
+    services = sojourns - waits
+    violations = int(np.count_nonzero(sojourns > slo_seconds)) if slo_seconds is not None else 0
+    mean_depth, max_depth = _queue_depth_profile(depth_samples, first_arrival, last_completion)
+    return LoadReport(
+        label=label,
+        submitted=submitted,
+        completed=completed,
+        offered_rps=offered,
+        goodput_rps=goodput,
+        horizon_seconds=horizon,
+        mean_sojourn_seconds=float(sojourns.mean()) if completed else 0.0,
+        p50_sojourn_seconds=float(np.percentile(sojourns, 50)) if completed else 0.0,
+        p95_sojourn_seconds=float(np.percentile(sojourns, 95)) if completed else 0.0,
+        p99_sojourn_seconds=float(np.percentile(sojourns, 99)) if completed else 0.0,
+        mean_wait_seconds=float(waits.mean()) if completed else 0.0,
+        mean_service_seconds=float(services.mean()) if completed else 0.0,
+        mean_queue_depth=mean_depth,
+        max_queue_depth=max_depth,
+        keepalive_pings=keepalive_pings,
+        reclamations=reclamations,
+        served=served,
+        requeued=requeued,
+        degraded=degraded,
+        shed=shed,
+        shed_rate=shed / submitted if submitted else 0.0,
+        violation_rate=violations / completed if completed else 0.0,
+        slo_seconds=slo_seconds,
+        outcomes=outcomes,
+    )
+
+
+def _queue_depth_profile(
+    samples: Sequence[tuple[float, int]], start: float, end: float
+) -> tuple[float, int]:
+    """Time-weighted mean and maximum of the waiting-request count."""
+    if not samples or end <= start:
+        return 0.0, max((depth for _, depth in samples), default=0)
+    max_depth = 0
+    weighted = 0.0
+    prev_time = start
+    prev_depth = 0
+    for time_point, depth in samples:
+        clamped = min(max(time_point, start), end)
+        weighted += prev_depth * (clamped - prev_time)
+        prev_time = clamped
+        prev_depth = depth
+        max_depth = max(max_depth, depth)
+    weighted += prev_depth * (end - prev_time)
+    return weighted / (end - start), max_depth
 
 
 class EngineFLStore:
@@ -133,6 +334,14 @@ class EngineFLStore:
         event rather than eagerly inside each serve.
     reclamation_interval_seconds:
         Virtual-time spacing of reclamation events.
+    max_queue_depth:
+        Admission bound — maximum number of requests waiting for a slot on
+        this engine before new arrivals are shed.  Defaults to
+        ``config.serverless.max_queue_depth``; ``0`` means unbounded.
+    shed_policy:
+        What happens to shed arrivals (``"drop"`` or
+        ``"degrade-to-objstore"``).  Defaults to
+        ``config.serverless.shed_policy``.
     """
 
     system_name = "engine-flstore"
@@ -143,6 +352,8 @@ class EngineFLStore:
         loop: EventLoop | None = None,
         fault_injector: ZipfianFaultInjector | None = None,
         reclamation_interval_seconds: float = 60.0,
+        max_queue_depth: int | None = None,
+        shed_policy: str | None = None,
     ) -> None:
         if flstore.fault_injector is not None:
             raise ValueError(
@@ -154,8 +365,21 @@ class EngineFLStore:
         self.platform = flstore.platform
         self.fault_injector = fault_injector
         self.reclamation_interval_seconds = reclamation_interval_seconds
+        serverless = flstore.config.serverless
+        self.max_queue_depth = (
+            serverless.max_queue_depth if max_queue_depth is None else int(max_queue_depth)
+        )
+        self.shed_policy = serverless.shed_policy if shed_policy is None else shed_policy
+        # Keep the per-function queue capacities in lockstep with the bound
+        # admission control actually enforces; otherwise an override looser
+        # than config.max_queue_depth would admit a request only for the
+        # function queue to reject it mid-simulation.
+        self.platform.set_queue_capacity(self.max_queue_depth)
         self.keepalive_pings = 0
         self.reclamations = 0
+        self.shed_requests = 0
+        self.degraded_requests = 0
+        self.requeued_requests = 0
         self._outstanding = 0
         self._waiting = 0
         self._depth_samples: list[tuple[float, int]] = []
@@ -195,20 +419,69 @@ class EngineFLStore:
         """Schedule ``request`` to arrive at virtual time ``at``.
 
         Returns the request's task; it resolves with an
-        :class:`EngineOutcome` when the request completes.
+        :class:`EngineOutcome` when the request completes.  Admission
+        control runs at arrival time: when ``max_queue_depth`` requests are
+        already waiting, the arrival is shed per ``shed_policy`` *before*
+        the serving oracle runs, so a dropped request leaves no trace in
+        the cache, the policies, or the analytic clock.
         """
         task = SimTask(self.loop, name=request.request_id)
         self._outstanding += 1
 
         def _arrive() -> None:
-            self.loop.process(self._request_process(request, priority), task=task)
+            if self.max_queue_depth > 0 and self._waiting >= self.max_queue_depth:
+                self._shed(request, task)
+            else:
+                self.loop.process(self._request_process(request, priority), task=task)
 
         self.loop.schedule_at(at, _arrive)
         return task
 
+    def _shed(self, request: WorkloadRequest, task: SimTask) -> None:
+        """Apply the shedding policy to an arrival refused admission."""
+        if self.shed_policy == "degrade-to-objstore":
+            self.degraded_requests += 1
+            self.platform.stats.requests_degraded += 1
+            self.loop.process(self._degraded_process(request), task=task)
+            return
+        self.shed_requests += 1
+        self.platform.stats.requests_shed += 1
+        now = self.loop.now
+        outcome = EngineOutcome(
+            request=request,
+            result=rejection_result(self.flstore, request),
+            arrived_at=now,
+            started_at=now,
+            completed_at=now,
+            disposition="shed",
+        )
+        self._completed.append(outcome)
+        self._outstanding -= 1
+        task.resolve(outcome)
+
+    def _degraded_process(self, request: WorkloadRequest):
+        """A shed request served on the object-store bypass (no queue, no cache)."""
+        arrived_at = self.loop.now
+        result = serve_degraded(self.flstore, request)
+        service_seconds = result.latency.total_seconds
+        if service_seconds > 0:
+            yield Timeout(service_seconds)
+        outcome = EngineOutcome(
+            request=request,
+            result=result,
+            arrived_at=arrived_at,
+            started_at=arrived_at,
+            completed_at=self.loop.now,
+            disposition="degraded",
+        )
+        self._completed.append(outcome)
+        self._outstanding -= 1
+        return outcome
+
     def _request_process(self, request: WorkloadRequest, priority: float):
         """One request as a timed process: serve oracle, queue, execute, release."""
         arrived_at = self.loop.now
+        disposition = "served"
         result = self.flstore.serve(request)
         function_id = result.execution_function
         holds_slot = False
@@ -223,8 +496,13 @@ class EngineFLStore:
                 self._note_queue_change(-1)
                 # A False grant means the function was reclaimed while the
                 # request waited; it proceeds without holding a slot (its
-                # analytic outcome already happened at arrival).
+                # analytic outcome already happened at arrival) and is
+                # accounted as requeued rather than silently passing.
                 holds_slot = bool(granted)
+                if not holds_slot:
+                    disposition = "requeued"
+                    self.requeued_requests += 1
+                    self.platform.stats.requests_requeued += 1
         started_at = self.loop.now
         service_seconds = result.latency.total_seconds
         if service_seconds > 0:
@@ -239,6 +517,7 @@ class EngineFLStore:
             arrived_at=arrived_at,
             started_at=started_at,
             completed_at=self.loop.now,
+            disposition=disposition,
         )
         self._completed.append(outcome)
         self._outstanding -= 1
@@ -329,6 +608,7 @@ class EngineFLStore:
         priorities: Sequence[float] | None = None,
         label: str = "open-loop",
         keepalive: bool = False,
+        slo_seconds: float | None = None,
     ) -> LoadReport:
         """Serve ``requests`` at the given arrival times; report load metrics.
 
@@ -338,9 +618,10 @@ class EngineFLStore:
         engine compose; overlapping requests contend for execution slots and
         queue per function.  With ``keepalive`` the keep-alive daemon runs
         as a recurring event; a fault injector (if configured) adds
-        reclamation events.  Per-run counters (queue-depth samples,
-        keep-alive pings, reclamations) are reported per run, not
-        engine-lifetime.
+        reclamation events.  ``slo_seconds`` (optional) sets the sojourn-time
+        SLO the report's ``violation_rate`` is measured against.  Per-run
+        counters (queue-depth samples, keep-alive pings, reclamations, shed
+        accounting) are reported per run, not engine-lifetime.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
@@ -358,72 +639,12 @@ class EngineFLStore:
         self.schedule_reclamations()
         self.loop.run()
         outcomes = self._completed[start_count:]
-        return self._build_report(
+        return build_load_report(
             outcomes,
             absolute_times,
             label,
+            depth_samples=self._depth_samples,
             keepalive_pings=self.keepalive_pings - pings_before,
             reclamations=self.reclamations - reclamations_before,
+            slo_seconds=slo_seconds,
         )
-
-    # ------------------------------------------------------------- reporting
-
-    def _build_report(
-        self,
-        outcomes: list[EngineOutcome],
-        arrival_times: Sequence[float],
-        label: str,
-        keepalive_pings: int = 0,
-        reclamations: int = 0,
-    ) -> LoadReport:
-        submitted = len(arrival_times)
-        completed = len(outcomes)
-        first_arrival = min(arrival_times) if submitted else 0.0
-        last_completion = max((o.completed_at for o in outcomes), default=first_arrival)
-        horizon = max(last_completion - first_arrival, 0.0)
-        arrival_span = max(arrival_times) - first_arrival if submitted > 1 else 0.0
-        # Degenerate spans (a single request, an instantaneous burst) report
-        # 0.0 rather than infinity so exported JSON stays strictly valid.
-        offered = submitted / arrival_span if arrival_span > 0 else 0.0
-        goodput = completed / horizon if horizon > 0 else 0.0
-        sojourns = np.array([o.sojourn_seconds for o in outcomes], dtype=float)
-        waits = np.array([o.wait_seconds for o in outcomes], dtype=float)
-        services = sojourns - waits
-        mean_depth, max_depth = self._queue_depth_profile(first_arrival, last_completion)
-        return LoadReport(
-            label=label,
-            submitted=submitted,
-            completed=completed,
-            offered_rps=offered,
-            goodput_rps=goodput,
-            horizon_seconds=horizon,
-            mean_sojourn_seconds=float(sojourns.mean()) if completed else 0.0,
-            p50_sojourn_seconds=float(np.percentile(sojourns, 50)) if completed else 0.0,
-            p95_sojourn_seconds=float(np.percentile(sojourns, 95)) if completed else 0.0,
-            p99_sojourn_seconds=float(np.percentile(sojourns, 99)) if completed else 0.0,
-            mean_wait_seconds=float(waits.mean()) if completed else 0.0,
-            mean_service_seconds=float(services.mean()) if completed else 0.0,
-            mean_queue_depth=mean_depth,
-            max_queue_depth=max_depth,
-            keepalive_pings=keepalive_pings,
-            reclamations=reclamations,
-            outcomes=outcomes,
-        )
-
-    def _queue_depth_profile(self, start: float, end: float) -> tuple[float, int]:
-        """Time-weighted mean and maximum of the waiting-request count."""
-        samples = self._depth_samples
-        if not samples or end <= start:
-            return 0.0, max((depth for _, depth in samples), default=0)
-        max_depth = 0
-        weighted = 0.0
-        prev_time = start
-        prev_depth = 0
-        for time_point, depth in samples:
-            clamped = min(max(time_point, start), end)
-            weighted += prev_depth * (clamped - prev_time)
-            prev_time = clamped
-            prev_depth = depth
-            max_depth = max(max_depth, depth)
-        weighted += prev_depth * (end - prev_time)
-        return weighted / (end - start), max_depth

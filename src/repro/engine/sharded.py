@@ -1,0 +1,305 @@
+"""A routed, sharded serving tier behind one front door.
+
+:class:`ShardedEngineFLStore` owns N independent ``FLStore`` +
+:class:`~repro.engine.flstore.EngineFLStore` shards running on **one shared
+event loop** (a single virtual timeline), routes every request to a shard by
+its data-affinity key (:mod:`repro.routing`), and aggregates the results:
+per-request :class:`~repro.engine.flstore.EngineOutcome` rows in global
+completion order, running latency/cost accumulators, queue-depth profiles
+merged across shards, and cache-liveness accounting (cached bytes, live
+keys, warm functions) summed over the tier.
+
+Each shard keeps its own admission controller
+(``ServerlessConfig.max_queue_depth`` / ``shed_policy``), so overload on a
+hot shard sheds or degrades only that shard's arrivals while cold shards
+keep serving — the scaling behaviour ``repro.cli run-shard-sweep`` measures.
+
+Design invariant (enforced by ``tests/test_sharded.py``): a one-shard tier
+with unbounded queues is *byte-identical* to a plain ``EngineFLStore`` —
+same per-request rows, same report — because the front door delegates to the
+same submission path and builds its report through the same
+:func:`~repro.engine.flstore.build_load_report` code.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.flstore import FLStore, ServeResult, build_default_flstore
+from repro.engine.flstore import (
+    EngineFLStore,
+    EngineOutcome,
+    LoadReport,
+    build_load_report,
+)
+from repro.engine.kernel import EventLoop, SimTask
+from repro.routing import ShardRouter, make_router
+from repro.serverless.faults import ZipfianFaultInjector
+from repro.simulation.records import CostAccumulator, LatencyAccumulator
+from repro.workloads.base import WorkloadRequest
+
+
+def merge_depth_samples(
+    per_shard: Sequence[Sequence[tuple[float, int]]],
+) -> list[tuple[float, int]]:
+    """Merge per-shard queue-depth samples into one fleet-wide profile.
+
+    Each shard records ``(time, waiting)`` samples of its own queue; the
+    fleet-wide depth at any instant is the sum of the shards' last-seen
+    depths.  Same-time samples merge in (position, shard) order, which is
+    deterministic and collapses to the identity for a single shard.
+    """
+    if len(per_shard) == 1:
+        return list(per_shard[0])
+    events: list[tuple[float, int, int, int]] = []
+    for shard_index, samples in enumerate(per_shard):
+        for position, (time_point, depth) in enumerate(samples):
+            events.append((time_point, position, shard_index, depth))
+    events.sort()
+    current = [0] * len(per_shard)
+    merged: list[tuple[float, int]] = []
+    for time_point, _, shard_index, depth in events:
+        current[shard_index] = depth
+        merged.append((time_point, sum(current)))
+    return merged
+
+
+class ShardedEngineFLStore:
+    """Routing front door over N independent engine-backed FLStore shards.
+
+    Parameters
+    ----------
+    flstores:
+        The analytic shard cores, one per shard.  Every shard ingests the
+        full round stream (each is a complete store), so any shard *can*
+        serve any request; the router partitions the request stream for
+        cache affinity and parallel capacity, not for data availability.
+    router:
+        Key-to-shard placement (defaults to a consistent-hash ring over the
+        shard count).
+    loop:
+        Shared event loop; all shards schedule on one virtual timeline.
+    fault_injectors:
+        Optional per-shard reclamation samplers.
+    max_queue_depth / shed_policy:
+        Per-shard admission-control overrides (default: each shard's
+        ``config.serverless`` values).
+    """
+
+    system_name = "sharded-engine-flstore"
+
+    def __init__(
+        self,
+        flstores: Sequence[FLStore],
+        router: ShardRouter | None = None,
+        loop: EventLoop | None = None,
+        fault_injectors: Sequence[ZipfianFaultInjector | None] | None = None,
+        reclamation_interval_seconds: float = 60.0,
+        max_queue_depth: int | None = None,
+        shed_policy: str | None = None,
+    ) -> None:
+        flstores = list(flstores)
+        if not flstores:
+            raise ValueError("a sharded tier needs at least one shard")
+        self.loop = loop or EventLoop()
+        self.router = router or make_router("consistent-hash", len(flstores))
+        if self.router.num_shards != len(flstores):
+            raise ValueError(
+                f"router covers {self.router.num_shards} shards "
+                f"but {len(flstores)} were provided"
+            )
+        injectors = list(fault_injectors) if fault_injectors is not None else [None] * len(flstores)
+        if len(injectors) != len(flstores):
+            raise ValueError("fault_injectors must match the shard count")
+        self.shards = [
+            EngineFLStore(
+                flstore,
+                loop=self.loop,
+                fault_injector=injector,
+                reclamation_interval_seconds=reclamation_interval_seconds,
+                max_queue_depth=max_queue_depth,
+                shed_policy=shed_policy,
+            )
+            for flstore, injector in zip(flstores, injectors)
+        ]
+        self.routed_counts = [0] * len(self.shards)
+        #: Running latency/cost totals over every completed request (all
+        #: dispositions), aggregated across shards as outcomes resolve.
+        self.latency_totals = LatencyAccumulator()
+        self.cost_totals = CostAccumulator()
+        self._completed: list[EngineOutcome] = []
+
+    @classmethod
+    def build(
+        cls,
+        num_shards: int,
+        config=None,
+        policy_mode: str = "tailored",
+        router: ShardRouter | None = None,
+        router_kind: str = "consistent-hash",
+        **kwargs,
+    ) -> "ShardedEngineFLStore":
+        """Build ``num_shards`` fresh analytic shards behind one front door."""
+        flstores = [build_default_flstore(config, policy_mode=policy_mode) for _ in range(num_shards)]
+        return cls(flstores, router=router or make_router(router_kind, num_shards), **kwargs)
+
+    # --------------------------------------------------------- passthroughs
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards behind the front door."""
+        return len(self.shards)
+
+    @property
+    def catalog(self):
+        """The round catalog (identical across shards; shard 0's instance)."""
+        return self.shards[0].catalog
+
+    @property
+    def config(self):
+        """The simulation configuration (identical across shards)."""
+        return self.shards[0].config
+
+    def ingest_round(self, record) -> list:
+        """Broadcast a training round into every shard (full replication)."""
+        return [shard.ingest_round(record) for shard in self.shards]
+
+    # ------------------------------------------------------------ submission
+
+    def submit(self, request: WorkloadRequest, at: float, priority: float = 0.0) -> SimTask:
+        """Route ``request`` to its shard and schedule it to arrive at ``at``."""
+        shard_index = self.router.route_request(request)
+        self.routed_counts[shard_index] += 1
+        task = self.shards[shard_index].submit(request, at=at, priority=priority)
+        task.add_done_callback(self._collect)
+        return task
+
+    def _collect(self, outcome: EngineOutcome) -> None:
+        """Aggregate one resolved outcome (fires in global completion order)."""
+        self._completed.append(outcome)
+        self.latency_totals.add(outcome.result.latency)
+        self.cost_totals.add(outcome.result.cost)
+
+    # ------------------------------------------------------------ run modes
+
+    def run_closed_loop(self, requests: Iterable[WorkloadRequest]) -> list[ServeResult]:
+        """Serve ``requests`` sequentially through the routed tier."""
+        results: list[ServeResult] = []
+        for request in requests:
+            task = self.submit(request, at=self.loop.now)
+            self.loop.run()
+            results.append(task.result.result)
+        return results
+
+    def run_open_loop(
+        self,
+        requests: Sequence[WorkloadRequest],
+        arrival_times: Sequence[float],
+        priorities: Sequence[float] | None = None,
+        label: str = "open-loop",
+        keepalive: bool = False,
+        slo_seconds: float | None = None,
+    ) -> LoadReport:
+        """Serve ``requests`` open-loop across the tier; report fleet metrics.
+
+        Mirrors :meth:`EngineFLStore.run_open_loop`: arrival times are
+        relative to the run start, per-run counters are reported per run,
+        and the report aggregates outcomes in global completion order with
+        queue-depth profiles merged across shards.
+        """
+        if len(requests) != len(arrival_times):
+            raise ValueError("requests and arrival_times must have the same length")
+        base = self.loop.now
+        absolute_times = [base + float(at) for at in arrival_times]
+        start_count = len(self._completed)
+        pings_before = self.keepalive_pings
+        reclamations_before = self.reclamations
+        for shard in self.shards:
+            shard._depth_samples = []
+        for index, (request, at) in enumerate(zip(requests, absolute_times)):
+            priority = priorities[index] if priorities is not None else 0.0
+            self.submit(request, at=at, priority=priority)
+        if keepalive:
+            for shard in self.shards:
+                shard.schedule_keepalive()
+        for shard in self.shards:
+            shard.schedule_reclamations()
+        self.loop.run()
+        outcomes = self._completed[start_count:]
+        return build_load_report(
+            outcomes,
+            absolute_times,
+            label,
+            depth_samples=merge_depth_samples([shard._depth_samples for shard in self.shards]),
+            keepalive_pings=self.keepalive_pings - pings_before,
+            reclamations=self.reclamations - reclamations_before,
+            slo_seconds=slo_seconds,
+        )
+
+    # ------------------------------------------------- aggregate accounting
+
+    @property
+    def keepalive_pings(self) -> int:
+        """Keep-alive pings fired across every shard."""
+        return sum(shard.keepalive_pings for shard in self.shards)
+
+    @property
+    def reclamations(self) -> int:
+        """Provider reclamations sampled across every shard."""
+        return sum(shard.reclamations for shard in self.shards)
+
+    @property
+    def shed_requests(self) -> int:
+        """Requests dropped by admission control across every shard."""
+        return sum(shard.shed_requests for shard in self.shards)
+
+    @property
+    def degraded_requests(self) -> int:
+        """Requests degraded to the object-store path across every shard."""
+        return sum(shard.degraded_requests for shard in self.shards)
+
+    @property
+    def requeued_requests(self) -> int:
+        """Waiters drained by reclamations across every shard."""
+        return sum(shard.requeued_requests for shard in self.shards)
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes of FL metadata resident across every shard's cache."""
+        return sum(shard.flstore.cached_bytes for shard in self.shards)
+
+    @property
+    def live_key_count(self) -> int:
+        """Keys with a live cached copy, summed over the tier."""
+        return sum(shard.flstore.cluster.live_key_count for shard in self.shards)
+
+    @property
+    def warm_function_count(self) -> int:
+        """Warm serverless functions backing the tier."""
+        return sum(shard.flstore.warm_function_count for shard in self.shards)
+
+    @property
+    def total_latency_seconds(self) -> float:
+        """Accumulated request latency across the tier (all dispositions)."""
+        return self.latency_totals.total_seconds
+
+    @property
+    def total_cost_dollars(self) -> float:
+        """Accumulated request cost across the tier (all dispositions)."""
+        return self.cost_totals.finalize().total_dollars
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard accounting rows (routing, shedding, cache liveness)."""
+        return [
+            {
+                "shard": index,
+                "routed": self.routed_counts[index],
+                "shed": shard.shed_requests,
+                "degraded": shard.degraded_requests,
+                "requeued": shard.requeued_requests,
+                "cached_bytes": shard.flstore.cached_bytes,
+                "live_keys": shard.flstore.cluster.live_key_count,
+                "warm_functions": shard.flstore.warm_function_count,
+            }
+            for index, shard in enumerate(self.shards)
+        ]

@@ -1,0 +1,21 @@
+"""Key-to-shard routing for the sharded serving tier (see :mod:`.router`)."""
+
+from repro.routing.router import (
+    ROUTER_KINDS,
+    ConsistentHashRouter,
+    ModuloRouter,
+    ShardRouter,
+    make_router,
+    request_routing_key,
+    stable_hash_u64,
+)
+
+__all__ = [
+    "ROUTER_KINDS",
+    "ConsistentHashRouter",
+    "ModuloRouter",
+    "ShardRouter",
+    "make_router",
+    "request_routing_key",
+    "stable_hash_u64",
+]

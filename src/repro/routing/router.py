@@ -1,0 +1,140 @@
+"""Key-to-shard routing for the sharded serving tier.
+
+The sharded front door (:class:`repro.engine.sharded.ShardedEngineFLStore`)
+partitions the request stream across N independent FLStore shards.  Routing
+is by *data affinity*: every request carries a routing key derived from the
+FL metadata it touches (``(round_id, client_id)``), so requests that need
+the same round's updates land on the shard whose cache already holds them.
+
+Two placements are provided, both deterministic across processes and runs
+(they use an explicit FNV-1a hash, never Python's randomized ``hash``):
+
+* :class:`ModuloRouter` — ``hash(key) % num_shards``.  Perfectly balanced
+  for uniform keys, but resizing the tier remaps almost every key.
+* :class:`ConsistentHashRouter` — a classic hash ring with virtual nodes.
+  Slightly less balanced, but growing the tier from N to N+1 shards remaps
+  only ~1/(N+1) of the key space, which keeps shard caches warm across
+  resizes.
+
+Placement is pluggable: anything implementing :class:`ShardRouter` can be
+handed to the front door (e.g. a locality- or load-aware placement learned
+from the trace).
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+
+#: FNV-1a 64-bit offset basis / prime.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def stable_hash_u64(data: str | bytes) -> int:
+    """64-bit FNV-1a hash of ``data``; stable across processes and platforms.
+
+    Python's builtin ``hash`` of strings is salted per process
+    (``PYTHONHASHSEED``), which would make shard placement — and therefore
+    every downstream latency number — irreproducible.  FNV-1a is tiny, has
+    good avalanche behaviour for short keys, and is trivially portable.
+    """
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    value = _FNV_OFFSET
+    for byte in data:
+        value = ((value ^ byte) * _FNV_PRIME) & _MASK64
+    return value
+
+
+def request_routing_key(request) -> int:
+    """The routing key of one :class:`~repro.workloads.base.WorkloadRequest`.
+
+    Derived from the data coordinates the request touches — the target round
+    and (when the workload follows one client across rounds) the client —
+    not from the request id, so retries and repeated requests for the same
+    data always land on the same shard.
+    """
+    client = request.client_id if request.client_id is not None else -1
+    return stable_hash_u64(f"r{request.round_id}:c{client}")
+
+
+class ShardRouter(abc.ABC):
+    """Maps routing keys to shard indices ``[0, num_shards)``."""
+
+    #: Machine-friendly identifier (used by the CLI and report labels).
+    kind: str = "router"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        self.num_shards = int(num_shards)
+
+    @abc.abstractmethod
+    def route(self, key: int) -> int:
+        """The shard index responsible for routing key ``key``."""
+
+    def route_request(self, request) -> int:
+        """Shard index for a workload request (routes by its data affinity)."""
+        return self.route(request_routing_key(request))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(num_shards={self.num_shards})"
+
+
+class ModuloRouter(ShardRouter):
+    """Modulo placement: ``key % num_shards``."""
+
+    kind = "modulo"
+
+    def route(self, key: int) -> int:
+        return key % self.num_shards
+
+
+class ConsistentHashRouter(ShardRouter):
+    """Consistent-hash ring placement with virtual nodes.
+
+    Each shard owns ``vnodes`` points on a 64-bit ring; a key is routed to
+    the shard owning the first point clockwise from the key's hash.  More
+    virtual nodes smooth the per-shard load at the cost of a larger ring.
+    """
+
+    kind = "consistent-hash"
+
+    def __init__(self, num_shards: int, vnodes: int = 64) -> None:
+        super().__init__(num_shards)
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = int(vnodes)
+        points: list[tuple[int, int]] = []
+        for shard in range(self.num_shards):
+            for replica in range(self.vnodes):
+                points.append((stable_hash_u64(f"shard-{shard}:vnode-{replica}"), shard))
+        points.sort()
+        self._ring_points = [point for point, _ in points]
+        self._ring_shards = [shard for _, shard in points]
+
+    def route(self, key: int) -> int:
+        point = stable_hash_u64(f"key-{key}")
+        index = bisect.bisect_right(self._ring_points, point)
+        if index == len(self._ring_points):  # wrap around the ring
+            index = 0
+        return self._ring_shards[index]
+
+
+#: Router kinds understood by :func:`make_router` (and the CLI).
+ROUTER_KINDS: tuple[str, ...] = ("consistent-hash", "modulo")
+
+
+def make_router(kind: str, num_shards: int, **kwargs) -> ShardRouter:
+    """Build the router called ``kind`` over ``num_shards`` shards.
+
+    Extra keyword arguments pass through to the router constructor
+    (e.g. ``vnodes`` for ``consistent-hash``).
+    """
+    if kind == "modulo":
+        return ModuloRouter(num_shards, **kwargs)
+    if kind == "consistent-hash":
+        return ConsistentHashRouter(num_shards, **kwargs)
+    raise ValueError(f"unknown router kind {kind!r}; expected one of {ROUTER_KINDS}")

@@ -33,25 +33,49 @@ class _ResidentObject:
 
 
 class RequestQueue:
-    """A FIFO or priority queue of opaque waiter tokens.
+    """A FIFO or priority queue of opaque waiter tokens, optionally bounded.
 
     The discrete-event engine parks one token per request waiting for an
     execution slot on a function.  Ordering is deterministic: FIFO pops in
     arrival order; priority pops by ``(priority, arrival sequence)`` with
     lower priority values first, so equal priorities degrade to FIFO.
+
+    ``capacity`` bounds the queue for admission control: pushing onto a full
+    queue raises :class:`CapacityError`, and the admission layer is expected
+    to check :attr:`full` first and shed the request instead (``0`` keeps
+    the queue unbounded).
     """
 
-    __slots__ = ("discipline", "_heap", "_seq")
+    __slots__ = ("discipline", "capacity", "_heap", "_seq")
 
-    def __init__(self, discipline: str = "fifo") -> None:
+    def __init__(self, discipline: str = "fifo", capacity: int = 0) -> None:
         if discipline not in ("fifo", "priority"):
             raise ValueError(f"unknown queue discipline {discipline!r}")
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0 (0 means unbounded), got {capacity}")
         self.discipline = discipline
+        self.capacity = int(capacity)
         self._heap: list[tuple[float, int, Any]] = []
         self._seq = 0
 
+    @property
+    def full(self) -> bool:
+        """Whether the queue is at its capacity bound (never true when unbounded)."""
+        return self.capacity > 0 and len(self._heap) >= self.capacity
+
     def push(self, token: Any, priority: float = 0.0) -> None:
-        """Enqueue ``token`` (``priority`` is ignored under FIFO)."""
+        """Enqueue ``token`` (``priority`` is ignored under FIFO).
+
+        Raises
+        ------
+        CapacityError
+            If the queue is bounded and already full.
+        """
+        if self.full:
+            raise CapacityError(
+                f"request queue is at its capacity bound ({self.capacity}); "
+                "the admission controller should have shed this request"
+            )
         key = priority if self.discipline == "priority" else 0.0
         heapq.heappush(self._heap, (key, self._seq, token))
         self._seq += 1

@@ -60,6 +60,17 @@ def policy_for_workload(name: str) -> PolicyClass:
     return get_workload(name).policy_class
 
 
+def workload_priority(name: str) -> float:
+    """Queue priority of workload ``name`` under the ``priority`` discipline.
+
+    Derived from the Table 1 taxonomy: P1 (latency-critical serving) maps
+    to 1.0 and P4 (batch metadata analytics) to 4.0; lower values are
+    served first, so inference jumps the queue ahead of batch work when
+    they contend for the same execution slots.
+    """
+    return float(get_workload(name).policy_class.value[1:])
+
+
 # --------------------------------------------------------------------------
 # Stock workloads (the ten applications of the paper's evaluation plus
 # hyperparameter tuning from Table 1's P4 row).
@@ -120,4 +131,5 @@ __all__ = [
     "list_workloads",
     "policy_for_workload",
     "register_workload",
+    "workload_priority",
 ]

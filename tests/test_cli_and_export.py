@@ -63,6 +63,57 @@ class TestCli:
         assert out_file.exists()
         assert "concurrent_requests" in out_file.read_text()
 
+    def test_run_load_accepts_seed_and_workers(self, tmp_path, capsys):
+        out_file = tmp_path / "load.json"
+        assert (
+            main(
+                [
+                    "run-load",
+                    "--rounds", "5",
+                    "--requests", "12",
+                    "--seed", "9",
+                    "--workers", "1",
+                    "--processes", "poisson",
+                    "--utilizations", "1.0",
+                    "--out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Open-loop load sweep" in printed
+        result = load_json(out_file)
+        assert result["seed"] == 9
+        assert len(result["rows"]) == 1
+        assert "shed_rate" in result["rows"][0] and "violation_rate" in result["rows"][0]
+
+    def test_run_shard_sweep_command(self, tmp_path, capsys):
+        out_file = tmp_path / "shards.json"
+        assert (
+            main(
+                [
+                    "run-shard-sweep",
+                    "--rounds", "5",
+                    "--requests", "12",
+                    "--shards", "1,2",
+                    "--utilizations", "2.0",
+                    "--max-queue-depth", "3",
+                    "--shed-policy", "degrade-to-objstore",
+                    "--out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Shard sweep" in printed
+        result = load_json(out_file)
+        assert result["shed_policy"] == "degrade-to-objstore"
+        rows = result["rows"]
+        assert [row["shards"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["conserved"] is True
+            assert row["served"] + row["shed"] + row["degraded"] == 12
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])

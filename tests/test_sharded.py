@@ -1,0 +1,357 @@
+"""The sharded serving tier: routing, the front door, and admission control."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import CapacityError
+from repro.config import SimulationConfig
+from repro.core.flstore import build_default_flstore
+from repro.engine import EngineFLStore, ShardedEngineFLStore, merge_depth_samples
+from repro.routing import (
+    ROUTER_KINDS,
+    ConsistentHashRouter,
+    ModuloRouter,
+    make_router,
+    request_routing_key,
+    stable_hash_u64,
+)
+from repro.serverless.function import RequestQueue
+from repro.traces.generator import RequestTraceGenerator
+from repro.fl.trainer import FLJobSimulator
+from repro.workloads.base import WorkloadRequest
+from repro.workloads.registry import list_workloads
+
+
+# ---------------------------------------------------------------------------
+# Routing
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_stable_hash_is_deterministic_and_64_bit(self):
+        assert stable_hash_u64("abc") == stable_hash_u64("abc")
+        assert stable_hash_u64("abc") != stable_hash_u64("abd")
+        assert 0 <= stable_hash_u64("anything") < 2**64
+
+    def test_request_routing_key_follows_data_affinity(self):
+        a = WorkloadRequest(request_id="r1", workload="inference", round_id=3)
+        b = WorkloadRequest(request_id="r2", workload="clustering", round_id=3)
+        c = WorkloadRequest(request_id="r3", workload="inference", round_id=4)
+        # Same data coordinates -> same key regardless of workload/request id.
+        assert request_routing_key(a) == request_routing_key(b)
+        assert request_routing_key(a) != request_routing_key(c)
+
+    @pytest.mark.parametrize("kind", ROUTER_KINDS)
+    def test_routers_are_deterministic_and_in_range(self, kind):
+        router = make_router(kind, 4)
+        targets = [router.route(stable_hash_u64(f"key-{i}")) for i in range(200)]
+        assert targets == [router.route(stable_hash_u64(f"key-{i}")) for i in range(200)]
+        assert set(targets) <= set(range(4))
+        # Every shard receives some traffic for a spread key population.
+        assert len(set(targets)) == 4
+
+    def test_modulo_router_is_plain_modulo(self):
+        router = ModuloRouter(3)
+        assert [router.route(k) for k in (0, 1, 2, 3, 7)] == [0, 1, 2, 0, 1]
+
+    def test_consistent_hash_minimises_remapping_on_resize(self):
+        keys = [stable_hash_u64(f"key-{i}") for i in range(500)]
+        four = ConsistentHashRouter(4)
+        five = ConsistentHashRouter(5)
+        moved = sum(1 for key in keys if four.route(key) != five.route(key))
+        # Modulo would remap ~80% of keys; the ring should move a small
+        # fraction (~1/5 in expectation).
+        assert moved / len(keys) < 0.5
+
+    def test_invalid_router_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            make_router("nope", 2)
+        with pytest.raises(ValueError):
+            ModuloRouter(0)
+        with pytest.raises(ValueError):
+            ConsistentHashRouter(2, vnodes=0)
+
+    def test_merge_depth_samples_sums_across_shards(self):
+        merged = merge_depth_samples(
+            [
+                [(1.0, 1), (3.0, 0)],
+                [(2.0, 2), (4.0, 1)],
+            ]
+        )
+        assert merged == [(1.0, 1), (2.0, 3), (3.0, 2), (4.0, 1)]
+        # Single shard: identity.
+        assert merge_depth_samples([[(1.0, 5)]]) == [(1.0, 5)]
+
+
+# ---------------------------------------------------------------------------
+# Bounded queues (serverless layer)
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedQueue:
+    def test_bounded_queue_reports_full_and_rejects_overflow(self):
+        queue = RequestQueue("fifo", capacity=2)
+        queue.push("a")
+        queue.push("b")
+        assert queue.full
+        with pytest.raises(CapacityError):
+            queue.push("c")
+        assert queue.pop() == "a"
+        assert not queue.full
+
+    def test_unbounded_queue_never_full(self):
+        queue = RequestQueue("fifo")
+        for token in range(100):
+            queue.push(token)
+        assert not queue.full
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            RequestQueue("fifo", capacity=-1)
+
+    def test_platform_queue_capacity_and_fullness(self):
+        from repro.config import ServerlessConfig
+        from repro.serverless.platform import ServerlessPlatform
+
+        platform = ServerlessPlatform(config=ServerlessConfig(max_queue_depth=1))
+        function, _ = platform.spawn_function()
+        fid = function.function_id
+        assert not platform.queue_is_full(fid)
+        platform.enqueue_waiter(fid, "a")
+        assert platform.queue_is_full(fid)
+        # Raising the capacity re-bounds the existing queue too.
+        platform.set_queue_capacity(2)
+        assert not platform.queue_is_full(fid)
+        platform.enqueue_waiter(fid, "b")
+        assert platform.queue_is_full(fid)
+        with pytest.raises(ValueError):
+            platform.set_queue_capacity(-1)
+
+
+# ---------------------------------------------------------------------------
+# The front door
+# ---------------------------------------------------------------------------
+
+
+def _ingested_flstore(config, rounds):
+    system = build_default_flstore(config)
+    for record in rounds:
+        system.ingest_round(record)
+    return system
+
+
+@pytest.fixture(scope="module")
+def shard_config():
+    return SimulationConfig.small(seed=11)
+
+
+@pytest.fixture(scope="module")
+def shard_rounds(shard_config):
+    return FLJobSimulator(shard_config).run_rounds(8)
+
+
+class TestOneShardEquivalence:
+    def test_one_shard_unbounded_is_byte_identical_to_engine(self, shard_config, shard_rounds):
+        """The acceptance invariant: a 1-shard tier with unbounded queues
+        reproduces the plain EngineFLStore byte for byte — per-request rows,
+        timings, and the aggregate report — for every registered workload."""
+        for workload_name in list_workloads():
+            plain = EngineFLStore(_ingested_flstore(shard_config, shard_rounds))
+            sharded = ShardedEngineFLStore([_ingested_flstore(shard_config, shard_rounds)])
+            gen_plain = RequestTraceGenerator(plain.catalog, seed=3)
+            gen_sharded = RequestTraceGenerator(sharded.catalog, seed=3)
+            trace_plain = gen_plain.workload_trace(workload_name, 4)
+            trace_sharded = gen_sharded.workload_trace(workload_name, 4)
+            arrivals = [0.0, 0.0, 0.5, 1.0]
+            report_plain = plain.run_open_loop(trace_plain, arrivals, label="x", keepalive=True)
+            report_sharded = sharded.run_open_loop(
+                trace_sharded, arrivals, label="x", keepalive=True
+            )
+            assert report_sharded.row() == report_plain.row(), workload_name
+            rows_plain = report_plain.to_records(system="s", model_name="m")
+            rows_sharded = report_sharded.to_records(system="s", model_name="m")
+            assert rows_sharded == rows_plain, workload_name
+            timings_plain = [
+                (o.request.request_id, o.arrived_at, o.started_at, o.completed_at, o.disposition)
+                for o in report_plain.outcomes
+            ]
+            timings_sharded = [
+                (o.request.request_id, o.arrived_at, o.started_at, o.completed_at, o.disposition)
+                for o in report_sharded.outcomes
+            ]
+            assert timings_sharded == timings_plain, workload_name
+
+    def test_closed_loop_matches_direct_serve(self, shard_config, shard_rounds):
+        direct = _ingested_flstore(shard_config, shard_rounds)
+        sharded = ShardedEngineFLStore([_ingested_flstore(shard_config, shard_rounds)])
+        gen_direct = RequestTraceGenerator(direct.catalog, seed=3)
+        gen_sharded = RequestTraceGenerator(sharded.catalog, seed=3)
+        trace_direct = gen_direct.mixed_trace(["inference", "clustering"], 10)
+        trace_sharded = gen_sharded.mixed_trace(["inference", "clustering"], 10)
+        expected = [direct.serve(request) for request in trace_direct]
+        actual = sharded.run_closed_loop(trace_sharded)
+        for want, got in zip(expected, actual):
+            assert got.latency == want.latency
+            assert got.cost == want.cost
+            assert got.served_by == want.served_by
+
+
+class TestMultiShard:
+    def _sharded(self, shard_config, shard_rounds, num_shards, **kwargs):
+        return ShardedEngineFLStore(
+            [_ingested_flstore(shard_config, shard_rounds) for _ in range(num_shards)],
+            **kwargs,
+        )
+
+    def test_requests_partition_across_shards(self, shard_config, shard_rounds):
+        sharded = self._sharded(shard_config, shard_rounds, 3)
+        generator = RequestTraceGenerator(sharded.catalog, seed=3)
+        trace = generator.mixed_trace(["inference", "clustering", "scheduling_perf"], 30)
+        report = sharded.run_open_loop(trace, [0.2 * i for i in range(len(trace))], label="mix")
+        assert report.completed == 30
+        assert sum(sharded.routed_counts) == 30
+        # The mixed trace spans several rounds/clients, so more than one
+        # shard must receive traffic.
+        assert sum(1 for count in sharded.routed_counts if count > 0) >= 2
+        stats = sharded.shard_stats()
+        assert [row["routed"] for row in stats] == sharded.routed_counts
+        assert sharded.cached_bytes == sum(row["cached_bytes"] for row in stats)
+        assert sharded.live_key_count == sum(row["live_keys"] for row in stats)
+        assert sharded.total_latency_seconds > 0
+        assert sharded.total_cost_dollars > 0
+
+    def test_same_routing_key_lands_on_same_shard(self, shard_config, shard_rounds):
+        sharded = self._sharded(shard_config, shard_rounds, 4)
+        generator = RequestTraceGenerator(sharded.catalog, seed=3)
+        # P1 requests all target the latest round -> one routing key.
+        trace = generator.workload_trace("inference", 8)
+        sharded.run_open_loop(trace, [0.0] * len(trace), label="hot")
+        assert sorted(sharded.routed_counts, reverse=True)[0] == 8
+
+    def test_mismatched_router_rejected(self, shard_config, shard_rounds):
+        with pytest.raises(ValueError):
+            self._sharded(shard_config, shard_rounds, 2, router=make_router("modulo", 3))
+
+    def test_empty_tier_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedEngineFLStore([])
+
+
+class TestAdmissionControl:
+    def _burst(self, sharded, num_requests=12):
+        generator = RequestTraceGenerator(sharded.catalog, seed=3)
+        trace = generator.workload_trace("inference", num_requests)
+        return sharded.run_open_loop(trace, [0.0] * len(trace), label="burst")
+
+    def test_drop_policy_sheds_and_conserves(self, shard_config, shard_rounds):
+        sharded = ShardedEngineFLStore(
+            [_ingested_flstore(shard_config, shard_rounds)],
+            max_queue_depth=2,
+            shed_policy="drop",
+        )
+        report = self._burst(sharded, num_requests=12)
+        assert report.shed > 0
+        assert report.degraded == 0
+        assert report.served + report.degraded + report.shed == report.submitted
+        assert report.shed_rate == pytest.approx(report.shed / report.submitted)
+        assert report.completed == report.served
+        shed_outcomes = [o for o in report.outcomes if o.disposition == "shed"]
+        assert len(shed_outcomes) == report.shed
+        for outcome in shed_outcomes:
+            # The rejection is instantaneous on the serving tier and costs
+            # nothing; the row still exists and carries the client RTT.
+            assert outcome.completed_at == outcome.arrived_at
+            assert outcome.result.cost.total_dollars == 0.0
+            assert outcome.result.latency.communication_seconds > 0
+        # Platform-level shed accounting ties out.
+        assert sharded.shed_requests == report.shed
+        assert sharded.shards[0].platform.stats.requests_shed == report.shed
+
+    def test_degrade_policy_serves_on_objstore_path(self, shard_config, shard_rounds):
+        sharded = ShardedEngineFLStore(
+            [_ingested_flstore(shard_config, shard_rounds)],
+            max_queue_depth=2,
+            shed_policy="degrade-to-objstore",
+        )
+        report = self._burst(sharded, num_requests=12)
+        assert report.degraded > 0
+        assert report.shed == 0
+        assert report.served + report.degraded + report.shed == report.submitted
+        assert report.completed == report.served + report.degraded
+        degraded = [o for o in report.outcomes if o.disposition == "degraded"]
+        cold_start = sharded.config.serverless.cold_start_seconds
+        for outcome in degraded:
+            # The bypass path pays a cold start plus object-store fetches
+            # and real compute: strictly slower than a warm cache hit.
+            assert outcome.result.latency.cold_start_seconds == pytest.approx(cold_start)
+            assert outcome.result.latency.communication_seconds > 0
+            assert outcome.result.cost.total_dollars > 0
+            assert outcome.result.cache_hits == 0
+        assert sharded.degraded_requests == report.degraded
+
+    def test_unbounded_queue_never_sheds(self, shard_config, shard_rounds):
+        sharded = ShardedEngineFLStore(
+            [_ingested_flstore(shard_config, shard_rounds)], max_queue_depth=0
+        )
+        report = self._burst(sharded, num_requests=12)
+        assert report.shed == 0 and report.degraded == 0
+        assert report.served == report.submitted
+
+    def test_engine_override_rebounds_platform_queues(self, shard_config, shard_rounds):
+        """An admission bound looser than config.max_queue_depth must loosen
+        the per-function queues too, not crash with CapacityError when the
+        admitted burst outgrows the config-sized queue."""
+        from dataclasses import replace
+
+        config = replace(
+            shard_config,
+            serverless=replace(shard_config.serverless, max_queue_depth=2),
+        )
+        rounds = shard_rounds
+        sharded = ShardedEngineFLStore(
+            [_ingested_flstore(config, rounds)], max_queue_depth=0
+        )
+        report = self._burst(sharded, num_requests=12)
+        assert report.shed == 0 and report.degraded == 0
+        assert report.served == report.submitted
+
+    def test_shedding_is_deterministic(self, shard_config, shard_rounds):
+        def run_once():
+            sharded = ShardedEngineFLStore(
+                [_ingested_flstore(shard_config, shard_rounds) for _ in range(2)],
+                max_queue_depth=2,
+                shed_policy="drop",
+            )
+            generator = RequestTraceGenerator(sharded.catalog, seed=3)
+            trace = generator.mixed_trace(["inference", "clustering"], 20)
+            report = sharded.run_open_loop(trace, [0.05 * i for i in range(len(trace))], label="d")
+            return report.row(), [
+                (o.request.request_id, o.disposition, o.completed_at) for o in report.outcomes
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestShardSweep:
+    def test_shard_sweep_reports_tail_latency_and_shedding(self):
+        from repro.analysis.experiments import run_shard_sweep
+
+        result = run_shard_sweep(
+            shard_counts=(1, 2),
+            utilizations=(2.0,),
+            num_rounds=5,
+            num_requests=16,
+            max_queue_depth=3,
+            shed_policy="drop",
+        )
+        rows = result["rows"]
+        assert len(rows) == 2
+        for row in rows:
+            assert row["conserved"] is True
+            assert row["served"] + row["shed"] + row["degraded"] == 16
+            assert "p99_sojourn_seconds" in row and "shed_rate" in row
+            assert 0.0 <= row["shed_rate"] <= 1.0
+            assert row["shards"] in (1, 2)
+        assert result["shed_policy"] == "drop"
+        assert result["mean_service_seconds"] > 0
