@@ -70,7 +70,7 @@ def main() -> None:
         precision = len(detected & truth) / len(detected)
         print(f"Detection precision over the audited rounds: {precision:.2f}")
     print()
-    print(f"Standby cost of keeping this audit capability available for 50 hours: "
+    print("Standby cost of keeping this audit capability available for 50 hours: "
           f"${flstore.standby_cost(50.0).total_dollars:.4f} "
           "(vs an always-on aggregator instance at $46.10)")
 

@@ -24,7 +24,7 @@ def main() -> None:
         flstore.ingest_round(record)
     print(f"Ingested {len(flstore.catalog)} rounds; "
           f"{flstore.cached_bytes / 1e6:.0f} MB hot in {flstore.warm_function_count} functions; "
-          f"everything backed up to the persistent store.")
+          "everything backed up to the persistent store.")
 
     # 3. Serve non-training requests straight from the serverless cache.
     latest = flstore.catalog.latest_round

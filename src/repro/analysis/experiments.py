@@ -26,6 +26,12 @@ from repro.analysis.comparison import percent_reduction
 from repro.analysis.runner import map_tasks, prepare_setup, run_trace
 from repro.config import SimulationConfig
 from repro.core.flstore import build_default_flstore
+from repro.engine.autoscale import (
+    AUTOSCALER_KINDS,
+    AutoscaleConfig,
+    Autoscaler,
+    make_autoscaler_policy,
+)
 from repro.engine.flstore import EngineFLStore
 from repro.engine.sharded import ShardedEngineFLStore
 from repro.routing import make_router
@@ -37,7 +43,6 @@ from repro.workloads.registry import (
     CACHE_AGG_WORKLOADS,
     EVALUATION_WORKLOADS,
     WORKLOAD_DISPLAY_NAMES,
-    get_workload,
 )
 
 #: Default number of training rounds ingested before serving requests.
@@ -954,6 +959,211 @@ def run_shard_sweep(
         "workloads": list(workloads),
         "seed": seed,
     }
+
+
+# ---------------------------------------------------------------------------
+# Autoscale sweep — scaling policy x utilization on the resizable tier
+# ---------------------------------------------------------------------------
+
+
+def _autoscale_cell(task: tuple) -> dict:
+    """One (policy, utilization) sweep point (module-level: picklable)."""
+    (
+        model_name,
+        workloads,
+        process_kind,
+        policy_name,
+        rho,
+        rate,
+        num_rounds,
+        num_requests,
+        seed,
+        max_queue_depth,
+        shed_policy,
+        start_shards,
+        control_interval,
+        mean_service,
+        slo_seconds,
+    ) = task
+    config = _experiment_config(model_name, seed=seed)
+    config = replace(
+        config,
+        serverless=replace(
+            config.serverless, max_queue_depth=max_queue_depth, shed_policy=shed_policy
+        ),
+    )
+    setups = [
+        prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+        for _ in range(start_shards)
+    ]
+    store = ShardedEngineFLStore(
+        [setup.flstore for setup in setups],
+        shard_factory=lambda: build_default_flstore(config),
+        warm_rounds=setups[0].rounds,
+    )
+    autoscale_config = AutoscaleConfig(control_interval_seconds=control_interval)
+    policy = make_autoscaler_policy(
+        policy_name, autoscale_config, mean_service_seconds=mean_service
+    )
+    autoscaler = Autoscaler(store, policy, autoscale_config)
+    trace = _load_sweep_trace(setups[0], workloads, num_requests)
+    arrivals = make_arrival_process(process_kind, rate, seed=seed).times(len(trace))
+    report = store.run_open_loop(
+        trace,
+        arrivals,
+        label=f"{process_kind}/{policy_name}",
+        keepalive=True,
+        slo_seconds=slo_seconds,
+        autoscaler=autoscaler,
+    )
+    conserved = report.served + report.degraded + report.shed == report.submitted
+    if not conserved:
+        raise RuntimeError(
+            f"conservation violated in autoscale cell (policy={policy_name}, rho={rho}): "
+            f"{report.served} served + {report.degraded} degraded + {report.shed} shed "
+            f"!= {report.submitted} offered"
+        )
+    row = {"autoscaler": policy_name, "process": process_kind, "utilization": rho}
+    row.update(report.row())
+    row["conserved"] = conserved
+    summary = autoscaler.summary()
+    row.update({k: v for k, v in summary.row().items() if k != "autoscaler"})
+    return row
+
+
+#: The headline columns of an autoscale-sweep row, shared by the CLI table
+#: and the benchmark report so the two never drift.
+AUTOSCALE_REPORT_COLUMNS: tuple[str, ...] = (
+    "autoscaler",
+    "utilization",
+    "p99_sojourn_seconds",
+    "shed_rate",
+    "violation_rate",
+    "capacity_unit_seconds",
+    "warm_capacity_cost_dollars",
+    "scale_events",
+    "shard_adds",
+    "shard_removes",
+    "conserved",
+)
+
+
+def run_autoscale_sweep(
+    model_name: str = "efficientnet_v2_small",
+    workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
+    process: str = "diurnal",
+    policies: Sequence[str] = AUTOSCALER_KINDS,
+    utilizations: Sequence[float] = (2.5,),
+    num_rounds: int = 12,
+    num_requests: int = 160,
+    seed: int = 7,
+    max_queue_depth: int = 6,
+    shed_policy: str = "drop",
+    start_shards: int = 1,
+    control_interval: float = 5.0,
+    slo_multiplier: float = 3.0,
+    workers: int | None = None,
+) -> dict:
+    """Autoscale sweep: scaling policy x offered utilization on one process.
+
+    Every cell serves the same deterministic request mix with arrivals drawn
+    from ``process`` (the diurnal cycle by default — the regime autoscaling
+    exists for) at rate ``rho / E[S]``, on a resizable
+    ``ShardedEngineFLStore`` driven by one autoscaling policy
+    (:data:`repro.engine.autoscale.AUTOSCALER_KINDS`).  Rows report the
+    latency/shedding quality of each policy **and** what it paid for it:
+    p99 sojourn, shed rate, SLO-violation rate, the warm-capacity integral
+    (unit-seconds and dollars), and the scale-event counts.  Conservation
+    (``served + requeued + degraded + shed == offered``, with requeued
+    counted inside ``served``) is asserted inside every cell — a resize must
+    never lose a request.  Cells are independent; ``workers > 1`` fans them
+    out to worker processes.
+    """
+    unknown = sorted(set(policies) - set(AUTOSCALER_KINDS))
+    if unknown:
+        # Fail before the calibration run and the worker fan-out, not deep
+        # inside a cell.
+        raise ValueError(f"unknown autoscaler policies {unknown}; expected {AUTOSCALER_KINDS}")
+    mean_service = calibrate_service_time(
+        model_name,
+        workloads=workloads,
+        num_rounds=num_rounds,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
+    tasks = [
+        (
+            model_name,
+            tuple(workloads),
+            process,
+            policy_name,
+            rho,
+            rho / mean_service,
+            num_rounds,
+            num_requests,
+            seed,
+            max_queue_depth,
+            shed_policy,
+            start_shards,
+            control_interval,
+            mean_service,
+            slo_seconds,
+        )
+        for rho in utilizations
+        for policy_name in policies
+    ]
+    rows = map_tasks(_autoscale_cell, tasks, workers=workers)
+    return {
+        "rows": rows,
+        "mean_service_seconds": mean_service,
+        "slo_seconds": slo_seconds,
+        "process": process,
+        "max_queue_depth": max_queue_depth,
+        "shed_policy": shed_policy,
+        "start_shards": start_shards,
+        "control_interval_seconds": control_interval,
+        "num_requests": num_requests,
+        "workloads": list(workloads),
+        "seed": seed,
+    }
+
+
+def compare_autoscale_policies(rows: Sequence[Mapping]) -> list[dict]:
+    """Predictive-vs-reactive deltas per utilization level.
+
+    The comparison the sweep exists to make: at each offered utilization,
+    how much p99 sojourn and shed rate does forecast-ahead scaling buy, and
+    at what relative warm-capacity cost.
+    """
+    comparisons = []
+    by_point: dict[float, dict[str, Mapping]] = {}
+    for row in rows:
+        by_point.setdefault(row["utilization"], {})[row["autoscaler"]] = row
+    for rho in sorted(by_point):
+        cell = by_point[rho]
+        reactive, predictive = cell.get("reactive"), cell.get("predictive")
+        if reactive is None or predictive is None:
+            continue
+        reactive_cost = reactive["capacity_unit_seconds"]
+        comparisons.append(
+            {
+                "utilization": rho,
+                "p99_reactive": reactive["p99_sojourn_seconds"],
+                "p99_predictive": predictive["p99_sojourn_seconds"],
+                "p99_reduction_pct": percent_reduction(
+                    reactive["p99_sojourn_seconds"], predictive["p99_sojourn_seconds"]
+                ),
+                "shed_rate_reactive": reactive["shed_rate"],
+                "shed_rate_predictive": predictive["shed_rate"],
+                "capacity_cost_ratio": (
+                    predictive["capacity_unit_seconds"] / reactive_cost
+                    if reactive_cost
+                    else float("inf")
+                ),
+            }
+        )
+    return comparisons
 
 
 # ---------------------------------------------------------------------------

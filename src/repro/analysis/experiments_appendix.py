@@ -34,7 +34,6 @@ from repro.network.model import NetworkTopology
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.serverless.platform import ServerlessPlatform
 from repro.simulation.metrics import summarize_records
-from repro.traces.generator import RequestTraceGenerator
 from repro.workloads.registry import WORKLOAD_DISPLAY_NAMES
 
 

@@ -17,7 +17,6 @@ from typing import Any
 
 from repro.cloud.instance import DedicatedInstance
 from repro.cloud.payload import payload_size_bytes
-from repro.common.errors import DataNotFoundError
 from repro.common.ids import IdGenerator
 from repro.config import SimulationConfig
 from repro.core.flstore import ServeResult

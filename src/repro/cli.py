@@ -26,6 +26,7 @@ from repro.analysis.perf import tune_gc
 from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
 from repro.config import SHED_POLICIES
+from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.routing import ROUTER_KINDS
 from repro.traces.arrivals import ARRIVAL_KINDS
 from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
@@ -188,6 +189,79 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shorthand for --workers <CPU count>",
     )
     shard.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
+
+    autoscale = sub.add_parser(
+        "run-autoscale",
+        help="autoscaling-policy comparison on the resizable serving tier",
+        description=(
+            "Serve the load-sweep request mix on a resizable ShardedEngineFLStore "
+            "under each autoscaling policy (none, reactive, predictive) and print "
+            "p99 sojourn, shed rate, SLO-violation rate, warm-capacity cost, and "
+            "scale-event counts per cell, plus the predictive-vs-reactive deltas."
+        ),
+    )
+    autoscale.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
+    autoscale.add_argument("--requests", type=int, default=160, help="requests per sweep point")
+    autoscale.add_argument("--seed", type=int, default=7, help="simulation seed")
+    autoscale.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
+    autoscale.add_argument(
+        "--process",
+        type=str,
+        default="diurnal",
+        choices=ARRIVAL_KINDS,
+        help="arrival process driving every sweep cell",
+    )
+    autoscale.add_argument(
+        "--policies",
+        type=str,
+        default=",".join(AUTOSCALER_KINDS),
+        help="comma-separated autoscaling policies (none, reactive, predictive)",
+    )
+    autoscale.add_argument(
+        "--utilizations",
+        type=str,
+        default="2.5",
+        help="comma-separated offered utilizations (multiples of one capacity unit's service rate)",
+    )
+    autoscale.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=6,
+        help="admission bound: waiting requests allowed per shard (0 = unbounded)",
+    )
+    autoscale.add_argument(
+        "--shed-policy",
+        type=str,
+        default="drop",
+        choices=SHED_POLICIES,
+        help="what happens to arrivals refused admission",
+    )
+    autoscale.add_argument(
+        "--start-shards",
+        type=int,
+        default=1,
+        help="shard count the tier starts from (the autoscaler takes it from there)",
+    )
+    autoscale.add_argument(
+        "--control-interval",
+        type=float,
+        default=5.0,
+        help="virtual-time spacing of autoscaler control ticks, in seconds",
+    )
+    autoscale.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sweep cells out to this many worker processes",
+    )
+    autoscale.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --workers <CPU count>",
+    )
+    autoscale.add_argument(
+        "--out", type=str, default=None, help="write results to a .json or .csv file"
+    )
     return parser
 
 
@@ -219,11 +293,44 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     tune_gc()
-    if args.command in ("run-load", "run-shard-sweep"):
+    if args.command in ("run-load", "run-shard-sweep", "run-autoscale"):
         workers = args.workers
         if workers is None and args.parallel:
             workers = os.cpu_count() or 1
-        if args.command == "run-load":
+        columns = None
+        extra_tables = []
+        if args.command == "run-autoscale":
+            title = "Autoscale sweep (resizable serving tier)"
+            policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+            unknown = sorted(set(policies) - set(AUTOSCALER_KINDS))
+            if unknown:
+                print(
+                    f"error: unknown --policies {','.join(unknown)}; "
+                    f"expected a comma list of {', '.join(AUTOSCALER_KINDS)}",
+                    file=sys.stderr,
+                )
+                return 2
+            result = E.run_autoscale_sweep(
+                model_name=args.model,
+                process=args.process,
+                policies=policies,
+                utilizations=tuple(float(u) for u in args.utilizations.split(",") if u.strip()),
+                num_rounds=args.rounds,
+                num_requests=args.requests,
+                seed=args.seed,
+                max_queue_depth=args.max_queue_depth,
+                shed_policy=args.shed_policy,
+                start_shards=args.start_shards,
+                control_interval=args.control_interval,
+                workers=workers,
+            )
+            columns = list(E.AUTOSCALE_REPORT_COLUMNS)
+            comparisons = E.compare_autoscale_policies(result["rows"])
+            if comparisons:
+                extra_tables.append(
+                    format_table(comparisons, title="Predictive vs reactive (same offered load)")
+                )
+        elif args.command == "run-load":
             title = "Open-loop load sweep (engine)"
             result = E.run_load_sweep(
                 model_name=args.model,
@@ -249,7 +356,9 @@ def main(argv: list[str] | None = None) -> int:
                 router_kind=args.router,
                 workers=workers,
             )
-        print(format_table(result["rows"], title=title))
+        print(format_table(result["rows"], columns=columns, title=title))
+        for table in extra_tables:
+            print(table)
         print(
             "summary:",
             {k: v for k, v in result.items() if k != "rows" and not isinstance(v, (list, dict))},

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.common.errors import ConfigurationError
-from repro.common.units import GB, MB
+from repro.common.units import GB
 
 
 @dataclass(frozen=True)
@@ -131,6 +131,10 @@ class PricingConfig:
     lambda_cost_per_million_requests: float = 0.20
     #: Keep-alive ping cost per instance per month (from InfiniStore, §4.5).
     lambda_keepalive_cost_per_instance_month: float = 0.0087
+    #: Provisioned (always-warm) execution capacity, per GB-second (AWS
+    #: Lambda provisioned concurrency).  The autoscaler's warm-capacity cost
+    #: integrates this over the provisioned GB it keeps resident.
+    lambda_provisioned_cost_per_gb_second: float = 0.0000041667
 
     def __post_init__(self) -> None:
         for name, value in self.__dict__.items():

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.cloud.object_store import ObjectStore
-from repro.cloud.payload import payload_size_bytes
 from repro.common.errors import DataNotFoundError
 from repro.common.ids import IdGenerator
 from repro.config import SimulationConfig
@@ -51,7 +50,7 @@ from repro.simulation.records import (
     LatencyAccumulator,
     LatencyBreakdown,
 )
-from repro.workloads.base import Workload, WorkloadRequest
+from repro.workloads.base import WorkloadRequest
 from repro.workloads.registry import get_workload
 
 

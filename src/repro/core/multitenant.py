@@ -10,7 +10,7 @@ and requests by tenant id.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import SimulationConfig
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore

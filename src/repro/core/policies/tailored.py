@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.config import CachePolicyConfig
 from repro.core.policies.base import CachingPolicy, PolicyPlan
 from repro.fl.catalog import RoundCatalog
-from repro.fl.keys import DataKey, DataKind
+from repro.fl.keys import DataKey
 from repro.fl.rounds import RoundRecord
 from repro.workloads.base import PolicyClass, WorkloadRequest
 from repro.workloads.registry import get_workload

@@ -12,7 +12,7 @@ never have the next request's data resident — which is why the paper measures
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.rng import derive_rng
 from repro.common.units import GB

@@ -6,11 +6,28 @@ builds the serving semantics on top: overlapping requests, per-function
 concurrency limits with FIFO/priority queues, admission control with
 shedding (drop / degrade-to-objstore), and keep-alive/reclamation as
 scheduled events.  :mod:`repro.engine.sharded` puts a routing front door
-over N independent engine-backed shards on one shared event loop.
+over N independent engine-backed shards on one shared event loop, and
+:mod:`repro.engine.autoscale` closes the control loop over it: policies
+sample queue-depth/arrival-rate signals on scheduled control ticks and
+spawn/retire warm capacity (per-function slots, whole shards) online.
 Open-loop arrival processes live in :mod:`repro.traces.arrivals`; key-to-
 shard placement lives in :mod:`repro.routing`.
 """
 
+from repro.engine.autoscale import (
+    AUTOSCALER_KINDS,
+    AutoscaleConfig,
+    AutoscaleSummary,
+    Autoscaler,
+    AutoscalerPolicy,
+    ControlSignals,
+    NullAutoscaler,
+    PredictiveAutoscaler,
+    ReactiveThresholdAutoscaler,
+    ScaleDecision,
+    ScaleEvent,
+    make_autoscaler_policy,
+)
 from repro.engine.flstore import (
     DISPOSITIONS,
     EngineFLStore,
@@ -24,15 +41,27 @@ from repro.engine.kernel import EventLoop, SimTask, Timeout
 from repro.engine.sharded import ShardedEngineFLStore, merge_depth_samples
 
 __all__ = [
+    "AUTOSCALER_KINDS",
+    "AutoscaleConfig",
+    "AutoscaleSummary",
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "ControlSignals",
     "DISPOSITIONS",
     "EngineFLStore",
     "EngineOutcome",
     "EventLoop",
     "LoadReport",
+    "NullAutoscaler",
+    "PredictiveAutoscaler",
+    "ReactiveThresholdAutoscaler",
+    "ScaleDecision",
+    "ScaleEvent",
     "ShardedEngineFLStore",
     "SimTask",
     "Timeout",
     "build_load_report",
+    "make_autoscaler_policy",
     "merge_depth_samples",
     "rejection_result",
     "serve_degraded",

@@ -25,7 +25,7 @@ this for every registered workload.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -384,6 +384,19 @@ class EngineFLStore:
         self._waiting = 0
         self._depth_samples: list[tuple[float, int]] = []
         self._completed: list[EngineOutcome] = []
+        #: Re-arm predicate for the keep-alive/reclamation daemons.  Stand-
+        #: alone, an engine keeps them alive while it has submitted-but-
+        #: incomplete requests; a routing front door overrides this with its
+        #: own in-flight count, because under route-at-arrival a shard only
+        #: learns about a request when it arrives — its local count going
+        #: momentarily to zero must not kill the daemons while the tier
+        #: still has traffic coming.
+        self.daemon_alive: Callable[[], bool] | None = None
+        # One daemon of each kind at a time: a shard retired and re-activated
+        # within one interval would otherwise end up with two concurrent
+        # daemons (the old one has not yet observed its dead re-arm check).
+        self._keepalive_daemon = False
+        self._reclaim_daemon = False
 
     @classmethod
     def build(
@@ -527,7 +540,61 @@ class EngineFLStore:
         self._waiting += delta
         self._depth_samples.append((self.loop.now, self._waiting))
 
+    # ------------------------------------------------------- capacity scaling
+
+    @property
+    def waiting(self) -> int:
+        """Requests currently queued for an execution slot on this engine."""
+        return self._waiting
+
+    @property
+    def outstanding(self) -> int:
+        """Requests submitted but not yet completed (queued, executing, or scheduled)."""
+        return self._outstanding
+
+    def set_function_concurrency(self, limit: int) -> int:
+        """Re-scale per-function concurrency; resume waiters granted new slots.
+
+        The autoscaler's within-shard actuator: raising ``limit`` models
+        spawning extra warm instances behind each logical function (queued
+        requests start executing immediately), lowering it retires instances
+        lazily as their executions finish.  Returns the number of waiters
+        granted a slot by the change.
+        """
+        granted = self.platform.set_function_concurrency(limit)
+        for token in granted:
+            # Resuming a waiter (resolve) re-enters its process, which
+            # performs its own queue-depth decrement.
+            token.resolve(True)
+        return len(granted)
+
+    def retire(self) -> None:
+        """Take this shard out of service: drain waiters, release warm capacity.
+
+        Queued waiters resume without a slot and are accounted as
+        ``requeued`` (the same semantics as a reclamation draining them), so
+        conservation holds across the resize; in-flight executions finish on
+        the shared loop.  Warm functions are reclaimed, so the shard stops
+        counting toward the tier's warm capacity and cache liveness.
+        """
+        for function in list(self.platform.functions()):
+            function_id = function.function_id
+            for token in self.platform.drain_waiters(function_id):
+                token.resolve(False)
+            if function.is_warm:
+                self.platform.reclaim_function(function_id)
+        self.flstore.engine.drop_lost_keys()
+        # A retired shard has nothing to keep warm and samples no further
+        # reclamations; let its daemons wind down at their next tick.
+        self.daemon_alive = lambda: False
+
     # --------------------------------------------------- lifecycle as events
+
+    def _daemons_live(self) -> bool:
+        """Whether the keep-alive/reclamation daemons should re-arm."""
+        if self.daemon_alive is not None:
+            return self.daemon_alive()
+        return self._outstanding > 0
 
     def schedule_keepalive(self, interval_seconds: float | None = None) -> None:
         """Ping warm functions every ``interval_seconds`` of virtual time.
@@ -546,14 +613,19 @@ class EngineFLStore:
         )
         if interval <= 0:
             raise ValueError(f"keepalive interval must be positive, got {interval}")
+        if self._keepalive_daemon:
+            return
+        self._keepalive_daemon = True
 
         def _ping() -> None:
             self.flstore.clock.advance_to(self.loop.now)
             for function in self.platform.warm_functions():
                 self.platform.ping(function.function_id)
                 self.keepalive_pings += 1
-            if self._outstanding > 0:
+            if self._daemons_live():
                 self.loop.schedule(interval, _ping)
+            else:
+                self._keepalive_daemon = False
 
         self.loop.schedule(interval, _ping)
 
@@ -566,6 +638,9 @@ class EngineFLStore:
         )
         if interval <= 0:
             raise ValueError(f"reclamation interval must be positive, got {interval}")
+        if self._reclaim_daemon:
+            return
+        self._reclaim_daemon = True
 
         def _reclaim() -> None:
             reclaimed = self.fault_injector.sample_reclamations(
@@ -580,8 +655,10 @@ class EngineFLStore:
                     token.resolve(False)
             if reclaimed:
                 self.flstore.engine.drop_lost_keys()
-            if self._outstanding > 0:
+            if self._daemons_live():
                 self.loop.schedule(interval, _reclaim)
+            else:
+                self._reclaim_daemon = False
 
         self.loop.schedule(interval, _reclaim)
 

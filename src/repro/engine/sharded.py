@@ -14,6 +14,22 @@ Each shard keeps its own admission controller
 hot shard sheds or degrades only that shard's arrivals while cold shards
 keep serving — the scaling behaviour ``repro.cli run-shard-sweep`` measures.
 
+The tier resizes online (:meth:`add_shard` / :meth:`remove_shard`), which is
+what the autoscaler (:mod:`repro.engine.autoscale`) actuates:
+
+* requests are routed when they *arrive* (not when they are submitted), so
+  arrivals always see the current shard set;
+* shards are added and retired last-in-first-out, so the consistent-hash
+  ring over K active shards is always exactly the one a fresh K-shard tier
+  would build, and a resize remaps only ~1/(K+1) of the key space;
+* a freshly added shard replays the tier's ingested rounds into its
+  persistent store but joins with a *cold cache* (its warm functions are
+  reclaimed after the replay), so the warmup transient — misses, persistent
+  fetches, cold starts — is part of the simulated cost of scaling out;
+* a retired shard drains its waiters as ``requeued`` (the PR-3 reclamation
+  semantics), keeping ``served + requeued + degraded + shed == offered``
+  across resize events.
+
 Design invariant (enforced by ``tests/test_sharded.py``): a one-shard tier
 with unbounded queues is *byte-identical* to a plain ``EngineFLStore`` —
 same per-request rows, same report — because the front door delegates to the
@@ -23,7 +39,7 @@ same submission path and builds its report through the same
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.flstore import (
@@ -76,14 +92,25 @@ class ShardedEngineFLStore:
         cache affinity and parallel capacity, not for data availability.
     router:
         Key-to-shard placement (defaults to a consistent-hash ring over the
-        shard count).
+        shard count).  Online resize rebuilds the router through
+        :meth:`repro.routing.ShardRouter.resized`, which preserves the
+        router's kind and parameters (e.g. ``vnodes``).
     loop:
         Shared event loop; all shards schedule on one virtual timeline.
     fault_injectors:
-        Optional per-shard reclamation samplers.
+        Optional per-shard reclamation samplers (initial shards only; shards
+        added by the autoscaler join without one).
     max_queue_depth / shed_policy:
         Per-shard admission-control overrides (default: each shard's
-        ``config.serverless`` values).
+        ``config.serverless`` values).  Applied to added shards too, so the
+        per-function queue bounds stay in lockstep across resizes.
+    shard_factory:
+        Zero-argument callable building a fresh (un-ingested) ``FLStore``
+        for :meth:`add_shard`; without one the tier cannot scale out.
+    warm_rounds:
+        Round records already ingested into ``flstores`` before the tier was
+        built (e.g. by ``prepare_setup``); replayed into shards added later
+        so they serve from the same catalog.
     """
 
     system_name = "sharded-engine-flstore"
@@ -97,6 +124,8 @@ class ShardedEngineFLStore:
         reclamation_interval_seconds: float = 60.0,
         max_queue_depth: int | None = None,
         shed_policy: str | None = None,
+        shard_factory: Callable[[], FLStore] | None = None,
+        warm_rounds: Sequence[object] | None = None,
     ) -> None:
         flstores = list(flstores)
         if not flstores:
@@ -111,6 +140,12 @@ class ShardedEngineFLStore:
         injectors = list(fault_injectors) if fault_injectors is not None else [None] * len(flstores)
         if len(injectors) != len(flstores):
             raise ValueError("fault_injectors must match the shard count")
+        self._max_queue_depth = max_queue_depth
+        self._shed_policy = shed_policy
+        self._reclamation_interval = reclamation_interval_seconds
+        self._shard_factory = shard_factory
+        #: All shards ever created, in creation order; retired shards stay
+        #: (their completed work and counters remain part of the tier).
         self.shards = [
             EngineFLStore(
                 flstore,
@@ -122,7 +157,36 @@ class ShardedEngineFLStore:
             )
             for flstore, injector in zip(flstores, injectors)
         ]
+        # Under route-at-arrival a shard's own outstanding count hits zero
+        # whenever it is momentarily idle; its keep-alive/reclamation
+        # daemons must instead live as long as the *tier* has in-flight
+        # traffic (matching the plain engine, whose count includes
+        # submitted-but-not-yet-arrived requests).
+        for shard in self.shards:
+            shard.daemon_alive = self._has_inflight
+        #: Indices into ``shards`` currently receiving traffic; resized
+        #: last-in-first-out so router slot ``i`` is always ``_active[i]``.
+        self._active: list[int] = list(range(len(self.shards)))
         self.routed_counts = [0] * len(self.shards)
+        #: Requests submitted to the front door but not yet resolved.
+        self._inflight = 0
+        #: Requests whose arrival (routing) event has fired — the
+        #: autoscaler's arrival-rate control signal.
+        self.arrived_requests = 0
+        #: Per-function slots currently provisioned across the tier (the
+        #: within-shard warm-capacity lever; see ``set_function_concurrency``).
+        self.slots_per_function = self.config.serverless.function_concurrency
+        #: Rounds ingested through the front door (or passed as
+        #: ``warm_rounds``); replayed into shards added later.
+        self._round_log: list = list(warm_rounds) if warm_rounds is not None else []
+        #: How many entries of ``_round_log`` each shard has ingested, so a
+        #: re-activated shard replays only what it missed while retired.
+        self._ingested_counts = [len(self._round_log)] * len(self.shards)
+        #: Retired shard indices, newest last; :meth:`add_shard` re-activates
+        #: from here before building a fresh shard, so diurnal add/remove
+        #: cycles reuse one chassis instead of accreting dead stores.
+        self._retired: list[int] = []
+        self._keepalive_active = False
         #: Running latency/cost totals over every completed request (all
         #: dispositions), aggregated across shards as outcomes resolve.
         self.latency_totals = LatencyAccumulator()
@@ -141,14 +205,22 @@ class ShardedEngineFLStore:
     ) -> "ShardedEngineFLStore":
         """Build ``num_shards`` fresh analytic shards behind one front door."""
         flstores = [build_default_flstore(config, policy_mode=policy_mode) for _ in range(num_shards)]
+        kwargs.setdefault(
+            "shard_factory", lambda: build_default_flstore(config, policy_mode=policy_mode)
+        )
         return cls(flstores, router=router or make_router(router_kind, num_shards), **kwargs)
 
     # --------------------------------------------------------- passthroughs
 
     @property
     def num_shards(self) -> int:
-        """Number of shards behind the front door."""
-        return len(self.shards)
+        """Number of active shards behind the front door."""
+        return len(self._active)
+
+    @property
+    def active_shards(self) -> list[EngineFLStore]:
+        """The shards currently receiving traffic, in router-slot order."""
+        return [self.shards[index] for index in self._active]
 
     @property
     def catalog(self):
@@ -161,17 +233,39 @@ class ShardedEngineFLStore:
         return self.shards[0].config
 
     def ingest_round(self, record) -> list:
-        """Broadcast a training round into every shard (full replication)."""
-        return [shard.ingest_round(record) for shard in self.shards]
+        """Broadcast a training round into every active shard (full replication)."""
+        self._round_log.append(record)
+        reports = []
+        for index in self._active:
+            reports.append(self.shards[index].ingest_round(record))
+            self._ingested_counts[index] = len(self._round_log)
+        return reports
 
     # ------------------------------------------------------------ submission
 
     def submit(self, request: WorkloadRequest, at: float, priority: float = 0.0) -> SimTask:
-        """Route ``request`` to its shard and schedule it to arrive at ``at``."""
-        shard_index = self.router.route_request(request)
-        self.routed_counts[shard_index] += 1
-        task = self.shards[shard_index].submit(request, at=at, priority=priority)
+        """Schedule ``request`` to arrive at ``at``; it is routed on arrival.
+
+        Routing at arrival time (not submission time) is what makes online
+        resize meaningful: an arrival always lands on the shard set that is
+        active at its arrival instant, so requests submitted before a scale
+        event still benefit from (or are shielded from) the resize.
+        """
+        task = SimTask(self.loop, name=request.request_id)
         task.add_done_callback(self._collect)
+        self._inflight += 1
+
+        def _admit() -> None:
+            self.arrived_requests += 1
+            slot = self.router.route_request(request)
+            shard_index = self._active[slot]
+            self.routed_counts[shard_index] += 1
+            shard_task = self.shards[shard_index].submit(
+                request, at=self.loop.now, priority=priority
+            )
+            shard_task.add_done_callback(task.resolve)
+
+        self.loop.schedule_at(at, _admit)
         return task
 
     def _collect(self, outcome: EngineOutcome) -> None:
@@ -179,6 +273,120 @@ class ShardedEngineFLStore:
         self._completed.append(outcome)
         self.latency_totals.add(outcome.result.latency)
         self.cost_totals.add(outcome.result.cost)
+        self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        """Requests submitted to the front door but not yet resolved."""
+        return self._inflight
+
+    def _has_inflight(self) -> bool:
+        return self._inflight > 0
+
+    # --------------------------------------------------------- online resize
+
+    @staticmethod
+    def _cold_join(flstore: FLStore) -> None:
+        """Model a shard joining with a cold cache.
+
+        Round ingestion (initial build or catch-up replay) warms the shard's
+        functions as if it had been serving all along; reclaiming them means
+        the warmup transient — misses, persistent-store fetches, cold
+        starts — is paid by the requests the rebuilt ring routes to it.
+        """
+        for function_id in list(flstore.cluster.function_ids()):
+            flstore.platform.reclaim_function(function_id)
+        flstore.engine.drop_lost_keys()
+
+    def add_shard(self) -> int:
+        """Grow the tier by one shard; returns the shard's index.
+
+        The most recently retired shard (if any) is re-activated: it catches
+        up the rounds it missed while retired and rejoins — still with a
+        cold cache, since retirement reclaimed its warm functions — so a
+        diurnal add/remove cycle reuses one chassis instead of rebuilding a
+        store per peak.  Otherwise a fresh shard is built via the
+        ``shard_factory`` and replays the full round log.  Either way the
+        joining shard's persistent store and catalog match its peers, and
+        the cold-cache warmup transient — misses, persistent fetches, cold
+        starts — is paid by the requests the rebuilt consistent-hash ring
+        now routes to it (~1/(K+1) of the key space).
+        """
+        if self._retired:
+            index = self._retired.pop()
+            shard = self.shards[index]
+            missed = self._round_log[self._ingested_counts[index]:]
+            for record in missed:
+                shard.ingest_round(record)
+            self._ingested_counts[index] = len(self._round_log)
+            if missed:
+                self._cold_join(shard.flstore)
+        else:
+            if self._shard_factory is None:
+                raise RuntimeError(
+                    "this tier was built without a shard_factory; it cannot scale out"
+                )
+            flstore = self._shard_factory()
+            for record in self._round_log:
+                flstore.ingest_round(record)
+            self._cold_join(flstore)
+            shard = EngineFLStore(
+                flstore,
+                loop=self.loop,
+                fault_injector=None,
+                reclamation_interval_seconds=self._reclamation_interval,
+                max_queue_depth=self._max_queue_depth,
+                shed_policy=self._shed_policy,
+            )
+            index = len(self.shards)
+            self.shards.append(shard)
+            self.routed_counts.append(0)
+            self._ingested_counts.append(len(self._round_log))
+        # Keep the within-shard capacity levers in lockstep with the tier:
+        # the admission bound (set at construction and unchanged since) and
+        # the provisioned per-function slots, which may have been re-scaled
+        # while this shard was retired.
+        shard.set_function_concurrency(self.slots_per_function)
+        shard.daemon_alive = self._has_inflight
+        self._active.append(index)
+        self.router = self.router.resized(len(self._active))
+        if self._keepalive_active:
+            shard.schedule_keepalive()
+        if self._inflight > 0:
+            # Re-activated initial shards may carry a fault injector whose
+            # daemon wound down while the shard was retired (no-op and
+            # idempotent otherwise).
+            shard.schedule_reclamations()
+        return index
+
+    def remove_shard(self) -> int:
+        """Retire the most recently added active shard; returns its index.
+
+        Last-in-first-out retirement keeps the active set in creation order,
+        so the rebuilt ring is exactly the one the tier used before the
+        matching :meth:`add_shard` — remapping stays bounded.  The retired
+        shard's waiters drain as ``requeued`` and its warm capacity is
+        released; in-flight executions finish on the shared loop.  The
+        shard itself is kept on the retired stack for re-activation by a
+        later :meth:`add_shard`.
+        """
+        if len(self._active) <= 1:
+            raise ValueError("cannot retire the last active shard")
+        index = self._active.pop()
+        self.router = self.router.resized(len(self._active))
+        self.shards[index].retire()
+        self._retired.append(index)
+        return index
+
+    def set_function_concurrency(self, limit: int) -> int:
+        """Scale per-function slots on every active shard (and future shards).
+
+        Returns the number of queued waiters granted a slot by the change.
+        """
+        self.slots_per_function = int(limit)
+        return sum(
+            self.shards[index].set_function_concurrency(limit) for index in self._active
+        )
 
     # ------------------------------------------------------------ run modes
 
@@ -199,13 +407,17 @@ class ShardedEngineFLStore:
         label: str = "open-loop",
         keepalive: bool = False,
         slo_seconds: float | None = None,
+        autoscaler=None,
     ) -> LoadReport:
         """Serve ``requests`` open-loop across the tier; report fleet metrics.
 
         Mirrors :meth:`EngineFLStore.run_open_loop`: arrival times are
         relative to the run start, per-run counters are reported per run,
         and the report aggregates outcomes in global completion order with
-        queue-depth profiles merged across shards.
+        queue-depth profiles merged across shards (including shards added or
+        retired mid-run).  An ``autoscaler``
+        (:class:`repro.engine.autoscale.Autoscaler`) runs its control loop
+        as scheduled events on the same virtual timeline.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
@@ -214,17 +426,23 @@ class ShardedEngineFLStore:
         start_count = len(self._completed)
         pings_before = self.keepalive_pings
         reclamations_before = self.reclamations
+        self._keepalive_active = keepalive
         for shard in self.shards:
             shard._depth_samples = []
         for index, (request, at) in enumerate(zip(requests, absolute_times)):
             priority = priorities[index] if priorities is not None else 0.0
             self.submit(request, at=at, priority=priority)
         if keepalive:
-            for shard in self.shards:
-                shard.schedule_keepalive()
-        for shard in self.shards:
-            shard.schedule_reclamations()
+            for index in self._active:
+                self.shards[index].schedule_keepalive()
+        for index in self._active:
+            self.shards[index].schedule_reclamations()
+        if autoscaler is not None:
+            autoscaler.start()
         self.loop.run()
+        if autoscaler is not None:
+            autoscaler.finalize()
+        self._keepalive_active = False
         outcomes = self._completed[start_count:]
         return build_load_report(
             outcomes,
@@ -260,8 +478,13 @@ class ShardedEngineFLStore:
 
     @property
     def requeued_requests(self) -> int:
-        """Waiters drained by reclamations across every shard."""
+        """Waiters drained by reclamations or retirements across every shard."""
         return sum(shard.requeued_requests for shard in self.shards)
+
+    @property
+    def waiting_requests(self) -> int:
+        """Requests queued for an execution slot across the active shards."""
+        return sum(self.shards[index].waiting for index in self._active)
 
     @property
     def cached_bytes(self) -> int:
@@ -279,6 +502,25 @@ class ShardedEngineFLStore:
         return sum(shard.flstore.warm_function_count for shard in self.shards)
 
     @property
+    def capacity_units(self) -> int:
+        """Nominal capacity: per-function slots x active shards.
+
+        The coarse-grained quantity the autoscaler's policies target — each
+        unit is one execution slot on a shard's (hot) execution function.
+        """
+        return self.slots_per_function * len(self._active)
+
+    @property
+    def provisioned_slots(self) -> int:
+        """Execution slots provisioned across the active shards' warm fleets."""
+        return sum(self.shards[index].platform.provisioned_slots for index in self._active)
+
+    @property
+    def provisioned_gb(self) -> float:
+        """Warm provisioned capacity in GB across the active shards."""
+        return sum(self.shards[index].platform.provisioned_gb for index in self._active)
+
+    @property
     def total_latency_seconds(self) -> float:
         """Accumulated request latency across the tier (all dispositions)."""
         return self.latency_totals.total_seconds
@@ -293,6 +535,7 @@ class ShardedEngineFLStore:
         return [
             {
                 "shard": index,
+                "active": index in self._active,
                 "routed": self.routed_counts[index],
                 "shed": shard.shed_requests,
                 "degraded": shard.degraded_requests,

@@ -21,7 +21,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.common.errors import ConfigurationError
-from repro.common.units import MB, mb_to_bytes
+from repro.common.units import mb_to_bytes
 
 
 @dataclass(frozen=True)

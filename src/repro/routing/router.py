@@ -75,6 +75,17 @@ class ShardRouter(abc.ABC):
     def route(self, key: int) -> int:
         """The shard index responsible for routing key ``key``."""
 
+    def resized(self, num_shards: int) -> "ShardRouter":
+        """A router of the same kind and parameters over ``num_shards`` shards.
+
+        Online resize (:meth:`repro.engine.sharded.ShardedEngineFLStore.add_shard`
+        / ``remove_shard``) rebuilds placement through this hook, so custom
+        parameters (e.g. a non-default ``vnodes``) survive the resize —
+        rebuilding a ring with different parameters would remap far more
+        than the advertised ~1/(N+1) of the key space.
+        """
+        return make_router(self.kind, num_shards)
+
     def route_request(self, request) -> int:
         """Shard index for a workload request (routes by its data affinity)."""
         return self.route(request_routing_key(request))
@@ -114,6 +125,10 @@ class ConsistentHashRouter(ShardRouter):
         points.sort()
         self._ring_points = [point for point, _ in points]
         self._ring_shards = [shard for _, shard in points]
+
+    def resized(self, num_shards: int) -> "ConsistentHashRouter":
+        """A ring over ``num_shards`` shards with this router's ``vnodes``."""
+        return ConsistentHashRouter(num_shards, vnodes=self.vnodes)
 
     def route(self, key: int) -> int:
         point = stable_hash_u64(f"key-{key}")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from repro.cloud.payload import payload_size_bytes

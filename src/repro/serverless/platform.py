@@ -14,7 +14,7 @@ The platform emulates the provider-side behaviour FLStore relies on
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.common.errors import DataNotFoundError, FunctionReclaimedError
@@ -90,6 +90,11 @@ class ServerlessPlatform:
         #: :meth:`set_queue_capacity`) when its admission bound differs, so
         #: the two layers never disagree about how deep a queue may grow.
         self._queue_capacity = self.config.max_queue_depth
+        #: Concurrency limit applied to newly spawned functions.  Starts at
+        #: the config value; the autoscaler re-scales it at runtime (see
+        #: :meth:`set_function_concurrency`) to model spawning/retiring warm
+        #: instances behind each logical function.
+        self._function_concurrency = self.config.function_concurrency
 
     def add_reclamation_listener(self, listener: Callable[[str], None]) -> None:
         """Subscribe to reclamation events (called with the function id).
@@ -127,7 +132,7 @@ class ServerlessPlatform:
             self._ids.next(),
             memory_limit_bytes=memory,
             cpu_cores=cpu_cores,
-            concurrency_limit=self.config.function_concurrency,
+            concurrency_limit=self._function_concurrency,
         )
         self._functions[function.function_id] = function
         self._warm_cache = None
@@ -295,6 +300,50 @@ class ServerlessPlatform:
     def queue_is_full(self, function_id: str) -> bool:
         """Whether ``function_id``'s waiter queue is at its admission bound."""
         return self.request_queue(function_id).full
+
+    def set_function_concurrency(self, limit: int) -> list[object]:
+        """Re-scale every function (existing and future) to ``limit`` slots.
+
+        Models the autoscaler spawning or retiring warm instances behind each
+        logical function: raising the limit immediately hands the new slots
+        to queued waiters (their tokens are returned so the engine can resume
+        them); lowering it retires slots lazily — active executions finish,
+        and freed slots above the new limit are simply not re-granted.
+        """
+        if limit <= 0:
+            raise ValueError(f"concurrency limit must be positive, got {limit}")
+        self._function_concurrency = int(limit)
+        granted: list[object] = []
+        for function in self._functions.values():
+            function.concurrency_limit = self._function_concurrency
+            queue = self._queues.get(function.function_id)
+            while queue and len(queue) > 0 and function.has_execution_slot:
+                function.begin_execution()
+                granted.append(queue.pop())
+        return granted
+
+    @property
+    def function_concurrency(self) -> int:
+        """Concurrency limit currently applied to (new and existing) functions."""
+        return self._function_concurrency
+
+    @property
+    def provisioned_slots(self) -> int:
+        """Execution slots provisioned across the warm fleet."""
+        return sum(f.concurrency_limit for f in self.warm_functions())
+
+    @property
+    def provisioned_gb(self) -> float:
+        """Warm provisioned capacity in GB (memory x slots, summed over the fleet).
+
+        One slot models one warm instance of the function, so a function with
+        ``concurrency_limit`` slots keeps that many instances (each with the
+        function's full memory) resident — this is the quantity the
+        autoscaler's warm-capacity cost integrates over time.
+        """
+        return sum(
+            f.memory_limit_bytes / GB * f.concurrency_limit for f in self.warm_functions()
+        )
 
     def try_acquire_slot(self, function_id: str) -> bool:
         """Occupy an execution slot on ``function_id`` if one is free now."""

@@ -170,7 +170,6 @@ class TestCacheEngine:
         cluster = ServerlessCacheCluster(platform, replication_factor=0)
         policy = make_policy_bundle("lru")
         engine = CacheEngine(policy, cluster, store)
-        size = policy.capacity_bytes // 3
         for i in range(5):
             key = DataKey.update(i, 0)
             engine.admit(key, b"", now=float(i))

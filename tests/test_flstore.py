@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.flstore import FLStore, build_default_flstore
-from repro.fl.keys import DataKey
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.workloads.base import WorkloadRequest
 

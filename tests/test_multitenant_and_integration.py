@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.common.errors import ConfigurationError
-from repro.config import SimulationConfig
 from repro.core.flstore import build_default_flstore
 from repro.core.multitenant import MultiTenantFLStore
 from repro.integrations.adapter import FrameworkAdapter, RoundEvent

@@ -144,6 +144,7 @@ class TestPerfReport:
         assert report.p99_request_seconds >= report.p50_request_seconds >= 0
         path = write_bench_json(report, str(tmp_path / "BENCH_serve.json"),
                                 extra={"suite_wall_seconds": 1.0})
+        assert path == str(tmp_path / "BENCH_serve.json")
         payload = json.loads((tmp_path / "BENCH_serve.json").read_text())
         assert payload["requests"] == 4
         assert payload["suite_wall_seconds"] == 1.0

@@ -182,6 +182,25 @@ class TestOneShardEquivalence:
             ]
             assert timings_sharded == timings_plain, workload_name
 
+    def test_keepalive_survives_idle_gaps_like_plain_engine(self, shard_config, shard_rounds):
+        """Regression: the front door routes at arrival time, so a shard's
+        own outstanding count is zero during an inter-arrival gap; its
+        keep-alive daemon must survive the gap (the plain engine's count
+        includes submitted-but-not-yet-arrived requests)."""
+        plain = EngineFLStore(_ingested_flstore(shard_config, shard_rounds))
+        sharded = ShardedEngineFLStore([_ingested_flstore(shard_config, shard_rounds)])
+        gen_plain = RequestTraceGenerator(plain.catalog, seed=3)
+        gen_sharded = RequestTraceGenerator(sharded.catalog, seed=3)
+        trace_plain = gen_plain.workload_trace("inference", 2)
+        trace_sharded = gen_sharded.workload_trace("inference", 2)
+        # The second arrival lands two keep-alive intervals (60s) after the
+        # first completed, so the shard is idle at the t=60 and t=120 pings.
+        arrivals = [0.0, 130.0]
+        report_plain = plain.run_open_loop(trace_plain, arrivals, label="gap", keepalive=True)
+        report_sharded = sharded.run_open_loop(trace_sharded, arrivals, label="gap", keepalive=True)
+        assert report_plain.keepalive_pings > 0
+        assert report_sharded.row() == report_plain.row()
+
     def test_closed_loop_matches_direct_serve(self, shard_config, shard_rounds):
         direct = _ingested_flstore(shard_config, shard_rounds)
         sharded = ShardedEngineFLStore([_ingested_flstore(shard_config, shard_rounds)])

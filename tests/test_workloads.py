@@ -261,7 +261,6 @@ class TestComputations:
             workload.compute(request, {})
 
     def test_empty_round_returns_empty_results(self):
-        empty_catalog = RoundCatalog()
         workload = get_workload("clustering")
         request = _request("clustering", 0)
         assert workload.compute(request, {}) == {
