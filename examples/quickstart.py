@@ -1,56 +1,84 @@
-"""Quickstart: simulate an FL job, ingest its metadata into FLStore, serve requests.
+"""Quickstart: describe a serving scenario as one typed spec, then run and sweep it.
 
-Run with::
+The scenario API (``repro.scenario``) is the front door to the simulator:
+a frozen, validated :class:`ScenarioSpec` names the workload mix, the
+open-loop arrival process, and the tier topology; ``run(spec)`` builds the
+right stack (analytic FLStore -> discrete-event engine -> routed shards ->
+autoscaler) and serves the mix with conservation asserted; ``sweep`` grids
+any spec field.  Run with::
 
     python examples/quickstart.py
+
+or equivalently from the CLI::
+
+    python -m repro.cli run-scenario --list
+    python -m repro.cli run-scenario --name sharded-burst --smoke
 """
 
 from __future__ import annotations
 
-from repro import FLJobSimulator, SimulationConfig, build_default_flstore
 from repro.analysis.tables import format_table
+from repro.scenario import (
+    AdmissionSpec,
+    ArrivalSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+    TierSpec,
+    WorkloadMixSpec,
+    run,
+    sweep,
+)
 
 
 def main() -> None:
-    # 1. Configure a small cross-device FL job (ResNet18, 20 clients, 5 per round).
-    config = SimulationConfig.small(seed=7)
-    print(f"Model: {config.job.model_name}, clients: {config.job.total_clients}, "
-          f"{config.job.clients_per_round} selected per round")
+    # 1. Describe the scenario: a bursty open-loop mix at 2x one shard's
+    #    capacity, served by two hashed shards with a bounded queue.
+    spec = ScenarioSpec(
+        name="quickstart",
+        num_rounds=5,
+        workload=WorkloadMixSpec(num_requests=24),
+        arrival=ArrivalSpec(kind="bursty", utilization=2.0),
+        tier=TierSpec(
+            shards=2,
+            router_kind="consistent-hash",
+            admission=AdmissionSpec(max_queue_depth=4, shed_policy="drop"),
+        ),
+    )
+    print(f"Scenario {spec.name!r}: {spec.workload.num_requests} requests "
+          f"({', '.join(spec.workload.workloads)}) at rho={spec.arrival.utilization} "
+          f"on {spec.tier.shards}x {spec.tier.router_kind} shards")
 
-    # 2. Simulate training and stream the per-round metadata into FLStore.
-    simulator = FLJobSimulator(config)
-    flstore = build_default_flstore(config)
-    for record in simulator.rounds(10):
-        flstore.ingest_round(record)
-    print(f"Ingested {len(flstore.catalog)} rounds; "
-          f"{flstore.cached_bytes / 1e6:.0f} MB hot in {flstore.warm_function_count} functions; "
-          "everything backed up to the persistent store.")
-
-    # 3. Serve non-training requests straight from the serverless cache.
-    latest = flstore.catalog.latest_round
-    rows = []
-    for workload in ("malicious_filtering", "clustering", "incentives", "inference"):
-        result = flstore.serve(flstore.make_request(workload, round_id=latest))
-        rows.append(
-            {
-                "workload": workload,
-                "latency_s": result.latency.total_seconds,
-                "cost_$": result.cost.total_dollars,
-                "cache_hit_rate": result.hit_rate,
-            }
-        )
+    # 2. Run it end to end: ingest rounds, serve open-loop, assert that
+    #    served + degraded + shed == offered.
+    report = run(spec)
     print()
-    print(format_table(rows, title="Non-training requests served by FLStore (latest round)"))
+    print(format_table([report.row()], title="One scenario run (conservation asserted)"))
+    print(f"calibrated E[S] = {report.mean_service_seconds:.3f}s, "
+          f"SLO = {report.slo_seconds:.3f}s, offered rate = {report.offered_rate_rps:.3f} rps")
 
-    # 4. Peek at one workload's actual output.
-    filtering = flstore.serve(flstore.make_request("malicious_filtering", round_id=latest - 1))
+    # 3. Sweep any field by dotted path — here the router axis:
+    #    max_shard_routed quantifies the hot-key imbalance that load-aware
+    #    JSQ routing (join-shortest-queue over the affinity candidates)
+    #    removes relative to pure hashing.
+    rows = sweep(spec, axes={"tier.router_kind": ("consistent-hash", "jsq")})
     print()
-    print(f"Malicious-client filtering on round {latest - 1}: "
-          f"examined {filtering.result['num_examined']} clients, "
-          f"flagged {filtering.result['flagged_clients']}")
-    overhead = flstore.component_overhead()
-    print(f"Cache Engine overhead: {overhead['cache_engine_bytes'] / 1024:.1f} KB, "
-          f"Request Tracker overhead: {overhead['request_tracker_bytes'] / 1024:.1f} KB")
+    print(format_table(
+        rows,
+        columns=["router", "p50_sojourn_seconds", "p99_sojourn_seconds",
+                 "max_shard_routed", "served", "shed", "conserved"],
+        title="Router sweep (same spec, one axis)",
+    ))
+
+    # 4. Every knob is validated at spec build time — a typo can never
+    #    fail three layers deep inside a serving tier.
+    try:
+        spec.with_overrides({"tier.admission.shed_policy": "yeet"})
+    except ScenarioValidationError as exc:
+        print(f"\nValidation works: {exc}")
+
+    # 5. Specs are data: JSON/TOML round-trip for checking into a repo.
+    assert ScenarioSpec.from_toml(spec.to_toml()) == spec
+    print("Spec round-trips through TOML; see examples/scenarios/ for bundled specs.")
 
 
 if __name__ == "__main__":

@@ -11,12 +11,16 @@ Learning Storage for non-training workloads* (MLSys 2025).  It contains:
 * the ten non-training workloads evaluated in the paper,
 * the FLStore core (cache engine, request tracker, serverless cache,
   tailored caching policies P1-P4, replication and fault tolerance),
-* the two paper baselines (ObjStore-Agg and Cache-Agg), and
+* the two paper baselines (ObjStore-Agg and Cache-Agg),
 * an analysis/experiment harness that regenerates every table and figure of
-  the paper's evaluation.
+  the paper's evaluation, and
+* the declarative scenario layer (:mod:`repro.scenario`): one typed,
+  validated spec that builds, runs, and sweeps every serving-tier topology.
 
 Quickstart
 ----------
+>>> from repro import ScenarioSpec, run_scenario
+>>> report = run_scenario(ScenarioSpec(num_rounds=3))  # doctest: +SKIP
 >>> from repro import build_default_flstore, FLJobSimulator, SimulationConfig
 >>> config = SimulationConfig.small()
 >>> job = FLJobSimulator(config)
@@ -35,6 +39,9 @@ from repro.config import (
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.flstore import EngineFLStore
 from repro.fl.trainer import FLJobSimulator
+from repro.scenario import ScenarioSpec, ScenarioValidationError
+from repro.scenario import run as run_scenario
+from repro.scenario import sweep as sweep_scenarios
 from repro.traces.arrivals import make_arrival_process
 from repro.workloads.base import WorkloadRequest
 from repro.workloads.registry import get_workload, list_workloads
@@ -47,6 +54,8 @@ __all__ = [
     "FLJobSimulator",
     "FLStore",
     "PricingConfig",
+    "ScenarioSpec",
+    "ScenarioValidationError",
     "ServeResult",
     "ServerlessConfig",
     "SimulationConfig",
@@ -55,5 +64,7 @@ __all__ = [
     "get_workload",
     "list_workloads",
     "make_arrival_process",
+    "run_scenario",
+    "sweep_scenarios",
     "__version__",
 ]

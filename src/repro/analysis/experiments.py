@@ -16,28 +16,31 @@ checks (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.analysis import setup_cache
 from repro.analysis.comparison import percent_reduction
-from repro.analysis.runner import map_tasks, prepare_setup, run_trace
+from repro.analysis.runner import prepare_setup, map_tasks, run_trace
 from repro.config import SimulationConfig
-from repro.core.flstore import build_default_flstore
-from repro.engine.autoscale import (
-    AUTOSCALER_KINDS,
-    AutoscaleConfig,
-    Autoscaler,
-    make_autoscaler_policy,
-)
-from repro.engine.flstore import EngineFLStore
-from repro.engine.sharded import ShardedEngineFLStore
-from repro.routing import make_router
+from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.fl.models import EVALUATION_MODELS
+from repro.scenario import (
+    DEFAULT_SCENARIO_WORKLOADS,
+    AdmissionSpec,
+    ArrivalSpec,
+    AutoscalerSpec,
+    RunReport,
+    ScenarioSpec,
+    TierSpec,
+    WorkloadMixSpec,
+    calibrate_mean_service_seconds,
+    paper_experiment_config,
+    sweep,
+)
 from repro.simulation.metrics import MetricsCollector, MetricSummary, summarize_records
-from repro.traces.arrivals import ARRIVAL_KINDS, make_arrival_process
+from repro.traces.arrivals import ARRIVAL_KINDS
 from repro.traces.generator import RequestTraceGenerator
 from repro.workloads.registry import (
     CACHE_AGG_WORKLOADS,
@@ -75,8 +78,12 @@ def clear_summary_cache() -> None:
 
 
 def _experiment_config(model_name: str, seed: int = 7) -> SimulationConfig:
-    """The paper's evaluation configuration, with a small reduced-weight dimension."""
-    return SimulationConfig.paper(model_name=model_name, seed=seed).with_job(reduced_dim=64)
+    """The paper's evaluation configuration, with a small reduced-weight dimension.
+
+    One definition, shared with the scenario layer, so figure experiments
+    and scenario runs draw on the same calibrations and setup snapshots.
+    """
+    return paper_experiment_config(model_name, seed=seed)
 
 
 def compare_systems_on_workloads(
@@ -734,13 +741,9 @@ def run_figure17_vs_cache_agg_totals(
 
 #: Workload mix of the load sweep: one P1 (inference), one P2 (clustering),
 #: one P4 (metadata) workload, so the offered stream touches the policy
-#: classes with distinct data needs.
-LOAD_SWEEP_WORKLOADS: tuple[str, ...] = ("inference", "clustering", "scheduling_perf")
-
-
-def _load_sweep_trace(setup, workloads: Sequence[str], num_requests: int):
-    """The deterministic request mix every load-sweep run replays."""
-    return setup.generator.mixed_trace(list(workloads), num_requests)
+#: classes with distinct data needs.  (Now the scenario layer's default mix;
+#: kept as an alias for callers of the legacy entrypoints.)
+LOAD_SWEEP_WORKLOADS: tuple[str, ...] = DEFAULT_SCENARIO_WORKLOADS
 
 
 def calibrate_service_time(
@@ -754,29 +757,19 @@ def calibrate_service_time(
 
     Offered rates are expressed as *utilization* multiples of the service
     rate (``rho = rate * E[S]``), so sweeps stay meaningful if the analytic
-    latency model is recalibrated.
+    latency model is recalibrated.  Delegates to the scenario layer's
+    memoized calibration.
     """
-    config = _experiment_config(model_name, seed=seed)
-    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
-    engine = EngineFLStore(setup.flstore)
-    trace = _load_sweep_trace(setup, workloads, num_requests)
-    results = engine.run_closed_loop(trace)
-    return float(np.mean([r.latency.total_seconds for r in results]))
-
-
-def _load_sweep_cell(task: tuple) -> dict:
-    """One (arrival process, utilization) sweep point (module-level: picklable)."""
-    (model_name, workloads, kind, rho, rate, num_rounds, num_requests, seed, slo_seconds) = task
-    config = _experiment_config(model_name, seed=seed)
-    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
-    engine = EngineFLStore(setup.flstore)
-    trace = _load_sweep_trace(setup, workloads, num_requests)
-    arrivals = make_arrival_process(kind, rate, seed=seed).times(len(trace))
-    report = engine.run_open_loop(
-        trace, arrivals, label=kind, keepalive=True, slo_seconds=slo_seconds
+    return calibrate_mean_service_seconds(
+        model_name, tuple(workloads), num_rounds, num_requests, seed
     )
-    row = {"process": kind, "utilization": rho}
-    row.update(report.row())
+
+
+def _legacy_load_row(report: RunReport) -> dict:
+    """Project a scenario run onto the historical load-sweep row schema."""
+    spec = report.spec
+    row = {"process": spec.arrival.kind, "utilization": spec.arrival.utilization}
+    row.update(report.load.row())
     return row
 
 
@@ -793,13 +786,15 @@ def run_load_sweep(
 ) -> dict:
     """Open-loop load sweep: arrival process x offered utilization.
 
+    A thin grid over the scenario API — the plain-engine topology swept
+    along ``arrival.kind`` x ``arrival.utilization`` — pinned byte-identical
+    to its pre-spec output at fixed seeds (``tests/test_scenario_shims.py``).
     For every arrival process and utilization level, a fresh FLStore serves
     the same deterministic request mix through the discrete-event engine
     with arrivals drawn from the process at rate ``rho / E[S]``.  Each row
     reports offered load vs goodput, p50/p95/p99 sojourn time, queue depth,
     and admission accounting (shed rate, SLO-violation rate against an SLO
-    of ``slo_multiplier * E[S]``) — the load-dependent behaviour the
-    closed-loop figures cannot show.  Sweep cells are independent, so
+    of ``slo_multiplier * E[S]``).  Sweep cells are independent, so
     ``workers > 1`` fans them out to worker processes (same rows, input
     order).  Everything is a pure function of ``seed``.
     """
@@ -811,22 +806,21 @@ def run_load_sweep(
         seed=seed,
     )
     slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
-    tasks = [
-        (
-            model_name,
-            tuple(workloads),
-            kind,
-            rho,
-            rho / mean_service,
-            num_rounds,
-            num_requests,
-            seed,
-            slo_seconds,
-        )
-        for kind in processes
-        for rho in utilizations
-    ]
-    rows = map_tasks(_load_sweep_cell, tasks, workers=workers)
+    base = ScenarioSpec(
+        name="load-sweep",
+        model=model_name,
+        seed=seed,
+        num_rounds=num_rounds,
+        workload=WorkloadMixSpec(workloads=tuple(workloads), num_requests=num_requests),
+        slo_multiplier=slo_multiplier,
+        mean_service_seconds=mean_service,
+    )
+    rows = sweep(
+        base,
+        axes={"arrival.kind": tuple(processes), "arrival.utilization": tuple(utilizations)},
+        workers=workers,
+        row_fn=_legacy_load_row,
+    )
     return {
         "rows": rows,
         "mean_service_seconds": mean_service,
@@ -842,52 +836,20 @@ def run_load_sweep(
 # ---------------------------------------------------------------------------
 
 
-def _shard_sweep_cell(task: tuple) -> dict:
-    """One (shard count, utilization) sweep point (module-level: picklable)."""
-    (
-        model_name,
-        workloads,
-        process_kind,
-        num_shards,
-        rho,
-        rate,
-        num_rounds,
-        num_requests,
-        seed,
-        max_queue_depth,
-        shed_policy,
-        router_kind,
-        slo_seconds,
-    ) = task
-    config = _experiment_config(model_name, seed=seed)
-    config = replace(
-        config,
-        serverless=replace(
-            config.serverless, max_queue_depth=max_queue_depth, shed_policy=shed_policy
-        ),
-    )
-    # Every shard is a full, independently ingested store; repeated
-    # prepare_setup calls hand out independent snapshot copies.
-    setups = [
-        prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
-        for _ in range(num_shards)
-    ]
-    store = ShardedEngineFLStore(
-        [setup.flstore for setup in setups],
-        router=make_router(router_kind, num_shards),
-    )
-    trace = _load_sweep_trace(setups[0], workloads, num_requests)
-    arrivals = make_arrival_process(process_kind, rate, seed=seed).times(len(trace))
-    report = store.run_open_loop(
-        trace, arrivals, label=process_kind, keepalive=True, slo_seconds=slo_seconds
-    )
-    row = {"shards": num_shards, "process": process_kind, "utilization": rho}
-    row.update(report.row())
-    row["conserved"] = report.served + report.degraded + report.shed == report.submitted
-    row["max_shard_routed"] = max(store.routed_counts)
-    row["cached_bytes"] = store.cached_bytes
-    row["live_keys"] = store.live_key_count
-    row["warm_functions"] = store.warm_function_count
+def _legacy_shard_row(report: RunReport) -> dict:
+    """Project a scenario run onto the historical shard-sweep row schema."""
+    spec = report.spec
+    row = {
+        "shards": spec.tier.shards,
+        "process": spec.arrival.kind,
+        "utilization": spec.arrival.utilization,
+    }
+    row.update(report.load.row())
+    row["conserved"] = report.conserved
+    row["max_shard_routed"] = report.max_shard_routed
+    row["cached_bytes"] = report.cached_bytes
+    row["live_keys"] = report.live_keys
+    row["warm_functions"] = report.warm_functions
     return row
 
 
@@ -916,7 +878,9 @@ def run_shard_sweep(
     ``ShardedEngineFLStore`` with per-shard admission control
     (``max_queue_depth`` waiting requests, ``shed_policy`` on overflow) and
     reports goodput, p50/p99 sojourn, shed/violation rates, and the
-    conservation check ``served + degraded + shed == offered``.  Cells are
+    conservation check ``served + degraded + shed == offered``.  A thin grid
+    over the scenario API (axes ``tier.shards`` x ``arrival.utilization``),
+    pinned byte-identical to its pre-spec output at fixed seeds.  Cells are
     independent; ``workers > 1`` fans them out to worker processes.
     """
     mean_service = calibrate_service_time(
@@ -927,26 +891,29 @@ def run_shard_sweep(
         seed=seed,
     )
     slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
-    tasks = [
-        (
-            model_name,
-            tuple(workloads),
-            process,
-            int(num_shards),
-            rho,
-            rho / mean_service,
-            num_rounds,
-            num_requests,
-            seed,
-            max_queue_depth,
-            shed_policy,
-            router_kind,
-            slo_seconds,
-        )
-        for num_shards in shard_counts
-        for rho in utilizations
-    ]
-    rows = map_tasks(_shard_sweep_cell, tasks, workers=workers)
+    base = ScenarioSpec(
+        name="shard-sweep",
+        model=model_name,
+        seed=seed,
+        num_rounds=num_rounds,
+        workload=WorkloadMixSpec(workloads=tuple(workloads), num_requests=num_requests),
+        arrival=ArrivalSpec(kind=process),
+        tier=TierSpec(
+            router_kind=router_kind,
+            admission=AdmissionSpec(max_queue_depth=max_queue_depth, shed_policy=shed_policy),
+        ),
+        slo_multiplier=slo_multiplier,
+        mean_service_seconds=mean_service,
+    )
+    rows = sweep(
+        base,
+        axes={
+            "tier.shards": tuple(int(num_shards) for num_shards in shard_counts),
+            "arrival.utilization": tuple(utilizations),
+        },
+        workers=workers,
+        row_fn=_legacy_shard_row,
+    )
     return {
         "rows": rows,
         "mean_service_seconds": mean_service,
@@ -966,68 +933,17 @@ def run_shard_sweep(
 # ---------------------------------------------------------------------------
 
 
-def _autoscale_cell(task: tuple) -> dict:
-    """One (policy, utilization) sweep point (module-level: picklable)."""
-    (
-        model_name,
-        workloads,
-        process_kind,
-        policy_name,
-        rho,
-        rate,
-        num_rounds,
-        num_requests,
-        seed,
-        max_queue_depth,
-        shed_policy,
-        start_shards,
-        control_interval,
-        mean_service,
-        slo_seconds,
-    ) = task
-    config = _experiment_config(model_name, seed=seed)
-    config = replace(
-        config,
-        serverless=replace(
-            config.serverless, max_queue_depth=max_queue_depth, shed_policy=shed_policy
-        ),
-    )
-    setups = [
-        prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
-        for _ in range(start_shards)
-    ]
-    store = ShardedEngineFLStore(
-        [setup.flstore for setup in setups],
-        shard_factory=lambda: build_default_flstore(config),
-        warm_rounds=setups[0].rounds,
-    )
-    autoscale_config = AutoscaleConfig(control_interval_seconds=control_interval)
-    policy = make_autoscaler_policy(
-        policy_name, autoscale_config, mean_service_seconds=mean_service
-    )
-    autoscaler = Autoscaler(store, policy, autoscale_config)
-    trace = _load_sweep_trace(setups[0], workloads, num_requests)
-    arrivals = make_arrival_process(process_kind, rate, seed=seed).times(len(trace))
-    report = store.run_open_loop(
-        trace,
-        arrivals,
-        label=f"{process_kind}/{policy_name}",
-        keepalive=True,
-        slo_seconds=slo_seconds,
-        autoscaler=autoscaler,
-    )
-    conserved = report.served + report.degraded + report.shed == report.submitted
-    if not conserved:
-        raise RuntimeError(
-            f"conservation violated in autoscale cell (policy={policy_name}, rho={rho}): "
-            f"{report.served} served + {report.degraded} degraded + {report.shed} shed "
-            f"!= {report.submitted} offered"
-        )
-    row = {"autoscaler": policy_name, "process": process_kind, "utilization": rho}
-    row.update(report.row())
-    row["conserved"] = conserved
-    summary = autoscaler.summary()
-    row.update({k: v for k, v in summary.row().items() if k != "autoscaler"})
+def _legacy_autoscale_row(report: RunReport) -> dict:
+    """Project a scenario run onto the historical autoscale-sweep row schema."""
+    spec = report.spec
+    row = {
+        "autoscaler": spec.tier.autoscaler.policy,
+        "process": spec.arrival.kind,
+        "utilization": spec.arrival.utilization,
+    }
+    row.update(report.load.row())
+    row["conserved"] = report.conserved
+    row.update({k: v for k, v in report.autoscale.row().items() if k != "autoscaler"})
     return row
 
 
@@ -1076,8 +992,10 @@ def run_autoscale_sweep(
     (unit-seconds and dollars), and the scale-event counts.  Conservation
     (``served + requeued + degraded + shed == offered``, with requeued
     counted inside ``served``) is asserted inside every cell — a resize must
-    never lose a request.  Cells are independent; ``workers > 1`` fans them
-    out to worker processes.
+    never lose a request.  A thin grid over the scenario API (axes
+    ``arrival.utilization`` x ``tier.autoscaler.policy``), pinned
+    byte-identical to its pre-spec output at fixed seeds.  Cells are
+    independent; ``workers > 1`` fans them out to worker processes.
     """
     unknown = sorted(set(policies) - set(AUTOSCALER_KINDS))
     if unknown:
@@ -1092,28 +1010,33 @@ def run_autoscale_sweep(
         seed=seed,
     )
     slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
-    tasks = [
-        (
-            model_name,
-            tuple(workloads),
-            process,
-            policy_name,
-            rho,
-            rho / mean_service,
-            num_rounds,
-            num_requests,
-            seed,
-            max_queue_depth,
-            shed_policy,
-            start_shards,
-            control_interval,
-            mean_service,
-            slo_seconds,
-        )
-        for rho in utilizations
-        for policy_name in policies
-    ]
-    rows = map_tasks(_autoscale_cell, tasks, workers=workers)
+    base = ScenarioSpec(
+        name="autoscale-sweep",
+        model=model_name,
+        seed=seed,
+        num_rounds=num_rounds,
+        workload=WorkloadMixSpec(workloads=tuple(workloads), num_requests=num_requests),
+        arrival=ArrivalSpec(kind=process),
+        tier=TierSpec(
+            shards=start_shards,
+            router_kind="consistent-hash",
+            admission=AdmissionSpec(max_queue_depth=max_queue_depth, shed_policy=shed_policy),
+            autoscaler=AutoscalerSpec(
+                enabled=True, control_interval_seconds=control_interval
+            ),
+        ),
+        slo_multiplier=slo_multiplier,
+        mean_service_seconds=mean_service,
+    )
+    rows = sweep(
+        base,
+        axes={
+            "arrival.utilization": tuple(utilizations),
+            "tier.autoscaler.policy": tuple(policies),
+        },
+        workers=workers,
+        row_fn=_legacy_autoscale_row,
+    )
     return {
         "rows": rows,
         "mean_service_seconds": mean_service,

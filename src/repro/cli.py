@@ -9,6 +9,10 @@ Usage examples::
     python -m repro.cli run fig11 --workers 4        # explicit worker count
     python -m repro.cli run-load --workers 4         # open-loop load sweep, parallel cells
     python -m repro.cli run-shard-sweep --shards 1,2,4 --shed-policy drop
+    python -m repro.cli run-scenario --list           # registered scenario specs
+    python -m repro.cli run-scenario --name jsq-hotkey --set tier.shards=8
+    python -m repro.cli run-scenario --spec examples/scenarios/sharded_burst.json \
+        --sweep tier.router_kind=consistent-hash,jsq
     python -m repro.cli workloads                     # show the workload taxonomy
 """
 
@@ -17,6 +21,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.analysis import experiments as E
@@ -28,6 +33,18 @@ from repro.analysis.tables import format_table
 from repro.config import SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.routing import ROUTER_KINDS
+from repro.scenario import (
+    ScenarioSpec,
+    ScenarioValidationError,
+    apply_overrides,
+    coerce_override,
+    field_value,
+    get_scenario,
+    list_scenarios,
+    smoke_spec,
+)
+from repro.scenario import run as run_scenario_spec
+from repro.scenario import sweep as scenario_sweep
 from repro.traces.arrivals import ARRIVAL_KINDS
 from repro.workloads.registry import TAXONOMY, WORKLOAD_DISPLAY_NAMES
 
@@ -62,6 +79,168 @@ _ACCEPTS_ROUNDS = {
 }
 
 
+@dataclass(frozen=True)
+class _SweepFlag:
+    """One shared sweep flag: described once, exposed by several sweeps.
+
+    ``key`` names the scenario-spec field the flag maps onto (axis flags map
+    onto the field they sweep), so flag semantics, choices, and help come
+    from the spec layer instead of being hand-triplicated per subcommand;
+    per-sweep parsers override only the *default*.
+    """
+
+    flag: str
+    key: str
+    type: Callable[[str], Any] = str
+    help: str = ""
+    choices: tuple[str, ...] | None = None
+
+
+#: The shared flag catalog of every ``run-*`` sweep subcommand.
+_SWEEP_FLAGS: dict[str, _SweepFlag] = {
+    flag.flag: flag
+    for flag in (
+        _SweepFlag("--rounds", "num_rounds", int, "number of ingested training rounds"),
+        _SweepFlag("--requests", "workload.num_requests", int, "requests per sweep point"),
+        _SweepFlag("--seed", "seed", int, "simulation seed"),
+        _SweepFlag("--model", "model", str, "model name"),
+        _SweepFlag(
+            "--process",
+            "arrival.kind",
+            str,
+            "arrival process driving every sweep cell",
+            choices=ARRIVAL_KINDS,
+        ),
+        _SweepFlag(
+            "--processes",
+            "arrival.kind (axis)",
+            str,
+            f"comma-separated arrival processes ({', '.join(ARRIVAL_KINDS)})",
+        ),
+        _SweepFlag(
+            "--utilizations",
+            "arrival.utilization (axis)",
+            str,
+            "comma-separated offered utilizations (multiples of the calibrated service rate)",
+        ),
+        _SweepFlag("--shards", "tier.shards (axis)", str, "comma-separated shard counts to sweep"),
+        _SweepFlag(
+            "--policies",
+            "tier.autoscaler.policy (axis)",
+            str,
+            f"comma-separated autoscaling policies ({', '.join(AUTOSCALER_KINDS)})",
+        ),
+        _SweepFlag(
+            "--max-queue-depth",
+            "tier.admission.max_queue_depth",
+            int,
+            "admission bound: waiting requests allowed per shard (0 = unbounded)",
+        ),
+        _SweepFlag(
+            "--shed-policy",
+            "tier.admission.shed_policy",
+            str,
+            "what happens to arrivals refused admission",
+            choices=SHED_POLICIES,
+        ),
+        _SweepFlag(
+            "--router", "tier.router_kind", str, "key-to-shard placement", choices=ROUTER_KINDS
+        ),
+        _SweepFlag(
+            "--start-shards",
+            "tier.shards",
+            int,
+            "shard count the tier starts from (the autoscaler takes it from there)",
+        ),
+        _SweepFlag(
+            "--control-interval",
+            "tier.autoscaler.control_interval_seconds",
+            float,
+            "virtual-time spacing of autoscaler control ticks, in seconds",
+        ),
+    )
+}
+
+#: Per-sweep flag exposure: subcommand -> {flag: default}.  This is the
+#: whole difference between the three sweep CLIs; everything else about a
+#: flag lives once in :data:`_SWEEP_FLAGS`.
+_SWEEP_COMMAND_FLAGS: dict[str, dict[str, Any]] = {
+    "run-load": {
+        "--rounds": 12,
+        "--requests": 120,
+        "--seed": 7,
+        "--model": "efficientnet_v2_small",
+        "--processes": ",".join(ARRIVAL_KINDS),
+        "--utilizations": "0.5,1.0,2.0",
+    },
+    "run-shard-sweep": {
+        "--rounds": 12,
+        "--requests": 120,
+        "--seed": 7,
+        "--model": "efficientnet_v2_small",
+        "--process": "bursty",
+        "--shards": "1,2,4",
+        "--utilizations": "0.5,1.0,2.0",
+        "--max-queue-depth": 8,
+        "--shed-policy": "drop",
+        "--router": "consistent-hash",
+    },
+    "run-autoscale": {
+        "--rounds": 12,
+        "--requests": 160,
+        "--seed": 7,
+        "--model": "efficientnet_v2_small",
+        "--process": "diurnal",
+        "--policies": ",".join(AUTOSCALER_KINDS),
+        "--utilizations": "2.5",
+        "--max-queue-depth": 6,
+        "--shed-policy": "drop",
+        "--start-shards": 1,
+        "--control-interval": 5.0,
+    },
+}
+
+_SWEEP_COMMAND_HELP: dict[str, tuple[str, str]] = {
+    "run-load": (
+        "open-loop load sweep through the discrete-event engine",
+        "Serve the load-sweep request mix with open-loop arrivals (Poisson, "
+        "bursty, diurnal) at several offered utilizations and print offered "
+        "load vs goodput, queue depth, and p50/p95/p99 sojourn time.",
+    ),
+    "run-shard-sweep": (
+        "shard count x utilization sweep through the routed serving tier",
+        "Serve the load-sweep request mix on a ShardedEngineFLStore at "
+        "several shard counts and offered utilizations, with per-shard "
+        "admission control, and print goodput, p50/p99 sojourn, shed "
+        "rate, and SLO-violation rate per sweep cell.",
+    ),
+    "run-autoscale": (
+        "autoscaling-policy comparison on the resizable serving tier",
+        "Serve the load-sweep request mix on a resizable ShardedEngineFLStore "
+        "under each autoscaling policy (none, reactive, predictive) and print "
+        "p99 sojourn, shed rate, SLO-violation rate, warm-capacity cost, and "
+        "scale-event counts per cell, plus the predictive-vs-reactive deltas.",
+    ),
+}
+
+
+def _add_worker_and_out_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan independent sweep cells out to this many worker processes",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="shorthand for --workers <CPU count>",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None, help="write results to a .json or .csv file"
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -86,183 +265,160 @@ def _build_parser() -> argparse.ArgumentParser:
         help="worker-process count for --parallel (default: CPU count); implies --parallel",
     )
 
-    load = sub.add_parser(
-        "run-load",
-        help="open-loop load sweep through the discrete-event engine",
-        description=(
-            "Serve the load-sweep request mix with open-loop arrivals (Poisson, "
-            "bursty, diurnal) at several offered utilizations and print offered "
-            "load vs goodput, queue depth, and p50/p95/p99 sojourn time."
-        ),
-    )
-    load.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
-    load.add_argument("--requests", type=int, default=120, help="requests per sweep point")
-    load.add_argument("--seed", type=int, default=7, help="simulation seed")
-    load.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
-    load.add_argument(
-        "--processes",
-        type=str,
-        default=",".join(ARRIVAL_KINDS),
-        help="comma-separated arrival processes (poisson, bursty, diurnal)",
-    )
-    load.add_argument(
-        "--utilizations",
-        type=str,
-        default="0.5,1.0,2.0",
-        help="comma-separated offered utilizations (multiples of the service rate)",
-    )
-    load.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan independent sweep cells out to this many worker processes",
-    )
-    load.add_argument(
-        "--parallel",
-        action="store_true",
-        help="shorthand for --workers <CPU count>",
-    )
-    load.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
+    # The three legacy sweeps share one generated flag surface.
+    for command, flag_defaults in _SWEEP_COMMAND_FLAGS.items():
+        help_line, description = _SWEEP_COMMAND_HELP[command]
+        sweep_parser = sub.add_parser(command, help=help_line, description=description)
+        for flag, default in flag_defaults.items():
+            info = _SWEEP_FLAGS[flag]
+            sweep_parser.add_argument(
+                flag,
+                type=info.type,
+                default=default,
+                choices=info.choices,
+                help=f"{info.help} [spec: {info.key}]",
+            )
+        _add_worker_and_out_flags(sweep_parser)
 
-    shard = sub.add_parser(
-        "run-shard-sweep",
-        help="shard count x utilization sweep through the routed serving tier",
+    scenario = sub.add_parser(
+        "run-scenario",
+        help="run (or sweep) a declarative scenario spec",
         description=(
-            "Serve the load-sweep request mix on a ShardedEngineFLStore at "
-            "several shard counts and offered utilizations, with per-shard "
-            "admission control, and print goodput, p50/p99 sojourn, shed "
-            "rate, and SLO-violation rate per sweep cell."
+            "Build and serve the serving tier a ScenarioSpec describes — any "
+            "topology (plain engine, routed shards, autoscaled) from one typed "
+            "spec file or registered scenario, with conservation asserted on "
+            "every run.  Override any field with --set dotted.key=value; sweep "
+            "any field with --sweep dotted.key=v1,v2,..."
         ),
     )
-    shard.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
-    shard.add_argument("--requests", type=int, default=120, help="requests per sweep point")
-    shard.add_argument("--seed", type=int, default=7, help="simulation seed")
-    shard.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
-    shard.add_argument(
-        "--process",
-        type=str,
-        default="bursty",
-        choices=ARRIVAL_KINDS,
-        help="arrival process driving every sweep cell",
+    scenario.add_argument("--spec", type=str, default=None, help="path to a .json/.toml spec file")
+    scenario.add_argument(
+        "--name", type=str, default=None, help="registered scenario name (see --list)"
     )
-    shard.add_argument(
-        "--shards",
-        type=str,
-        default="1,2,4",
-        help="comma-separated shard counts to sweep",
+    scenario.add_argument(
+        "--list", action="store_true", help="list the registered scenarios and exit"
     )
-    shard.add_argument(
-        "--utilizations",
-        type=str,
-        default="0.5,1.0,2.0",
-        help="comma-separated offered utilizations (multiples of one shard's service rate)",
+    scenario.add_argument(
+        "--set",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        dest="overrides",
+        help="override one spec field by dotted path, e.g. --set tier.shards=4 (repeatable)",
     )
-    shard.add_argument(
-        "--max-queue-depth",
-        type=int,
-        default=8,
-        help="admission bound: waiting requests allowed per shard (0 = unbounded)",
-    )
-    shard.add_argument(
-        "--shed-policy",
-        type=str,
-        default="drop",
-        choices=SHED_POLICIES,
-        help="what happens to arrivals refused admission",
-    )
-    shard.add_argument(
-        "--router",
-        type=str,
-        default="consistent-hash",
-        choices=ROUTER_KINDS,
-        help="key-to-shard placement",
-    )
-    shard.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan independent sweep cells out to this many worker processes",
-    )
-    shard.add_argument(
-        "--parallel",
-        action="store_true",
-        help="shorthand for --workers <CPU count>",
-    )
-    shard.add_argument("--out", type=str, default=None, help="write results to a .json or .csv file")
-
-    autoscale = sub.add_parser(
-        "run-autoscale",
-        help="autoscaling-policy comparison on the resizable serving tier",
-        description=(
-            "Serve the load-sweep request mix on a resizable ShardedEngineFLStore "
-            "under each autoscaling policy (none, reactive, predictive) and print "
-            "p99 sojourn, shed rate, SLO-violation rate, warm-capacity cost, and "
-            "scale-event counts per cell, plus the predictive-vs-reactive deltas."
+    scenario.add_argument(
+        "--sweep",
+        action="append",
+        default=[],
+        metavar="KEY=V1,V2",
+        dest="axes",
+        help=(
+            "sweep one spec field over comma-separated values, e.g. "
+            "--sweep arrival.utilization=0.5,1.0,2.0 (repeatable; first axis varies slowest)"
         ),
     )
-    autoscale.add_argument("--rounds", type=int, default=12, help="number of ingested training rounds")
-    autoscale.add_argument("--requests", type=int, default=160, help="requests per sweep point")
-    autoscale.add_argument("--seed", type=int, default=7, help="simulation seed")
-    autoscale.add_argument("--model", type=str, default="efficientnet_v2_small", help="model name")
-    autoscale.add_argument(
-        "--process",
-        type=str,
-        default="diurnal",
-        choices=ARRIVAL_KINDS,
-        help="arrival process driving every sweep cell",
-    )
-    autoscale.add_argument(
-        "--policies",
-        type=str,
-        default=",".join(AUTOSCALER_KINDS),
-        help="comma-separated autoscaling policies (none, reactive, predictive)",
-    )
-    autoscale.add_argument(
-        "--utilizations",
-        type=str,
-        default="2.5",
-        help="comma-separated offered utilizations (multiples of one capacity unit's service rate)",
-    )
-    autoscale.add_argument(
-        "--max-queue-depth",
-        type=int,
-        default=6,
-        help="admission bound: waiting requests allowed per shard (0 = unbounded)",
-    )
-    autoscale.add_argument(
-        "--shed-policy",
-        type=str,
-        default="drop",
-        choices=SHED_POLICIES,
-        help="what happens to arrivals refused admission",
-    )
-    autoscale.add_argument(
-        "--start-shards",
-        type=int,
-        default=1,
-        help="shard count the tier starts from (the autoscaler takes it from there)",
-    )
-    autoscale.add_argument(
-        "--control-interval",
-        type=float,
-        default=5.0,
-        help="virtual-time spacing of autoscaler control ticks, in seconds",
-    )
-    autoscale.add_argument(
-        "--workers",
-        type=int,
-        default=None,
-        help="fan independent sweep cells out to this many worker processes",
-    )
-    autoscale.add_argument(
-        "--parallel",
+    scenario.add_argument(
+        "--smoke",
         action="store_true",
-        help="shorthand for --workers <CPU count>",
+        help="shrink rounds/requests for a fast end-to-end validation run (CI uses this)",
     )
-    autoscale.add_argument(
-        "--out", type=str, default=None, help="write results to a .json or .csv file"
-    )
+    _add_worker_and_out_flags(scenario)
     return parser
+
+
+def _axis_values(spec: ScenarioSpec, key: str, text: str) -> list:
+    """Parse one ``--sweep key=v1,v2`` axis, typed by the field it sweeps."""
+    current = field_value(spec, key)  # unknown paths raise ScenarioValidationError
+    values = [coerce_override(item.strip(), current, key) for item in text.split(",") if item.strip()]
+    if not values:
+        raise ScenarioValidationError(f"--sweep {key} needs at least one value")
+    return values
+
+
+def _run_scenario_command(args) -> int:
+    """The ``run-scenario`` subcommand: one spec (or a sweep of it) end to end."""
+    if args.list:
+        rows = []
+        for name in list_scenarios():
+            spec = get_scenario(name)
+            tier = spec.tier
+            topology = "engine" if not tier.sharded else f"{tier.shards}x {tier.router_kind}"
+            if tier.autoscaler.enabled:
+                topology += f" + {tier.autoscaler.policy} autoscaler"
+            rows.append(
+                {
+                    "scenario": name,
+                    "topology": topology,
+                    "arrivals": f"{spec.arrival.kind} @ rho={spec.arrival.utilization}",
+                    "workloads": ",".join(spec.workload.workloads),
+                    "requests": spec.workload.num_requests,
+                }
+            )
+        print(format_table(rows, title="Registered scenarios"))
+        return 0
+    if bool(args.spec) == bool(args.name):
+        print("error: pass exactly one of --spec FILE or --name SCENARIO", file=sys.stderr)
+        return 2
+    try:
+        spec = ScenarioSpec.load(args.spec) if args.spec else get_scenario(args.name)
+        overrides: dict[str, str] = {}
+        for item in args.overrides:
+            key, sep, value = item.partition("=")
+            if not sep or not key.strip():
+                raise ScenarioValidationError(f"--set expects KEY=VALUE, got {item!r}")
+            overrides[key.strip()] = value
+        if overrides:
+            spec = apply_overrides(spec, overrides)
+        if args.smoke:
+            spec = smoke_spec(spec)
+        axes: dict[str, list] = {}
+        for item in args.axes:
+            key, sep, values = item.partition("=")
+            if not sep or not key.strip():
+                raise ScenarioValidationError(f"--sweep expects KEY=V1,V2,..., got {item!r}")
+            axes[key.strip()] = _axis_values(spec, key.strip(), values)
+    except (ScenarioValidationError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    workers = args.workers
+    if workers is None and args.parallel:
+        workers = os.cpu_count() or 1
+    tune_gc()
+    try:
+        # Axis values are validated per grid point inside sweep(); a bad
+        # value must exit like any other spec error, not as a traceback.
+        if axes:
+            rows = scenario_sweep(spec, axes, workers=workers)
+            result: dict[str, Any] = {"scenario": spec.name, "rows": rows}
+            title = f"Scenario sweep: {spec.name} ({' x '.join(axes)})"
+        else:
+            report = run_scenario_spec(spec)
+            rows = [report.row()]
+            result = {
+                "scenario": spec.name,
+                "rows": rows,
+                "mean_service_seconds": report.mean_service_seconds,
+                "slo_seconds": report.slo_seconds,
+                "offered_rate_rps": report.offered_rate_rps,
+            }
+            title = f"Scenario: {spec.name}"
+    except ScenarioValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result["spec"] = spec.to_dict()
+    print(format_table(rows, title=title))
+    print(
+        "summary:",
+        {k: v for k, v in result.items() if k not in ("rows", "spec")},
+    )
+    if args.out:
+        if args.out.endswith(".csv"):
+            path = export_csv(rows, args.out)
+        else:
+            path = export_json(result, args.out)
+        print(f"wrote {path}")
+    return 0
 
 
 def _run_experiment(name: str, rounds: int | None, seed: int | None) -> Any:
@@ -291,6 +447,9 @@ def main(argv: list[str] | None = None) -> int:
         ]
         print(format_table(rows, title="Non-training workload taxonomy (Table 1)"))
         return 0
+
+    if args.command == "run-scenario":
+        return _run_scenario_command(args)
 
     tune_gc()
     if args.command in ("run-load", "run-shard-sweep", "run-autoscale"):

@@ -145,6 +145,9 @@ class PricingConfig:
 #: Shedding policies of the admission controller (see ``ServerlessConfig``).
 SHED_POLICIES: tuple[str, ...] = ("drop", "degrade-to-objstore")
 
+#: Disciplines of the per-function request queues (see ``ServerlessConfig``).
+QUEUE_DISCIPLINES: tuple[str, ...] = ("fifo", "priority")
+
 
 @dataclass(frozen=True)
 class ServerlessConfig:
@@ -196,9 +199,10 @@ class ServerlessConfig:
             raise ConfigurationError("max_warm_functions must be positive")
         if self.function_concurrency <= 0:
             raise ConfigurationError("function_concurrency must be positive")
-        if self.queue_discipline not in ("fifo", "priority"):
+        if self.queue_discipline not in QUEUE_DISCIPLINES:
             raise ConfigurationError(
-                f"queue_discipline must be 'fifo' or 'priority', got {self.queue_discipline!r}"
+                f"queue_discipline must be one of {QUEUE_DISCIPLINES}, "
+                f"got {self.queue_discipline!r}"
             )
         if self.max_queue_depth < 0:
             raise ConfigurationError("max_queue_depth must be >= 0 (0 means unbounded)")
@@ -284,6 +288,7 @@ __all__ = [
     "FLJobConfig",
     "NetworkConfig",
     "PricingConfig",
+    "QUEUE_DISCIPLINES",
     "SHED_POLICIES",
     "ServerlessConfig",
     "SimulationConfig",

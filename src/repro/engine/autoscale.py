@@ -38,6 +38,12 @@ Three policies ship:
   converted to capacity through the calibrated mean service time; on a
   diurnal process it provisions ahead of the peak and releases capacity on
   the downslope.
+
+Declaratively, an autoscaler is attached through a scenario spec
+(:mod:`repro.scenario`): ``tier.autoscaler.enabled`` plus a policy name
+validated at spec build time — ``build_tier`` constructs the resizable tier,
+the policy, and this driver from one ``AutoscaleConfig`` so their control
+intervals can never drift apart.
 """
 
 from __future__ import annotations

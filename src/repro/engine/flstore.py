@@ -206,6 +206,16 @@ class LoadReport:
     slo_seconds: float | None = None
     outcomes: list[EngineOutcome] = field(default_factory=list, repr=False)
 
+    @property
+    def conserved(self) -> bool:
+        """Whether every submitted request is accounted for exactly once.
+
+        ``served`` already includes ``requeued`` (both finished on the
+        serving tier), so conservation reads ``served + degraded + shed ==
+        submitted`` — the invariant every sweep asserts.
+        """
+        return self.served + self.degraded + self.shed == self.submitted
+
     def row(self) -> dict:
         """The scalar columns of this report (for tables and JSON export)."""
         return {

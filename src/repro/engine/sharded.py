@@ -167,6 +167,7 @@ class ShardedEngineFLStore:
         #: Indices into ``shards`` currently receiving traffic; resized
         #: last-in-first-out so router slot ``i`` is always ``_active[i]``.
         self._active: list[int] = list(range(len(self.shards)))
+        self._bind_router()
         self.routed_counts = [0] * len(self.shards)
         #: Requests submitted to the front door but not yet resolved.
         self._inflight = 0
@@ -209,6 +210,19 @@ class ShardedEngineFLStore:
             "shard_factory", lambda: build_default_flstore(config, policy_mode=policy_mode)
         )
         return cls(flstores, router=router or make_router(router_kind, num_shards), **kwargs)
+
+    def _bind_router(self) -> None:
+        """Hand load-aware routers a live ``slot -> outstanding`` probe.
+
+        The probe reads the *active* shard behind each router slot, so it is
+        rebound after every resize (the slot -> shard mapping changed).  A
+        shard's ``outstanding`` counts queued plus executing requests — the
+        join-shortest-queue signal — and is already maintained on the serve
+        path, so probing costs nothing extra.
+        """
+        bind = getattr(self.router, "bind_load_probe", None)
+        if bind is not None:
+            bind(lambda slot: self.shards[self._active[slot]].outstanding)
 
     # --------------------------------------------------------- passthroughs
 
@@ -350,6 +364,7 @@ class ShardedEngineFLStore:
         shard.daemon_alive = self._has_inflight
         self._active.append(index)
         self.router = self.router.resized(len(self._active))
+        self._bind_router()
         if self._keepalive_active:
             shard.schedule_keepalive()
         if self._inflight > 0:
@@ -374,6 +389,7 @@ class ShardedEngineFLStore:
             raise ValueError("cannot retire the last active shard")
         index = self._active.pop()
         self.router = self.router.resized(len(self._active))
+        self._bind_router()
         self.shards[index].retire()
         self._retired.append(index)
         return index

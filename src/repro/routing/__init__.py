@@ -3,6 +3,7 @@
 from repro.routing.router import (
     ROUTER_KINDS,
     ConsistentHashRouter,
+    JoinShortestQueueRouter,
     ModuloRouter,
     ShardRouter,
     make_router,
@@ -13,6 +14,7 @@ from repro.routing.router import (
 __all__ = [
     "ROUTER_KINDS",
     "ConsistentHashRouter",
+    "JoinShortestQueueRouter",
     "ModuloRouter",
     "ShardRouter",
     "make_router",

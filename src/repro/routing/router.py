@@ -15,10 +15,19 @@ Two placements are provided, both deterministic across processes and runs
   Slightly less balanced, but growing the tier from N to N+1 shards remaps
   only ~1/(N+1) of the key space, which keeps shard caches warm across
   resizes.
+* :class:`JoinShortestQueueRouter` — load-aware placement over the ring's
+  *affinity candidates*: each key names the first ``fanout`` distinct shards
+  clockwise from its ring point, and an arrival goes to whichever candidate
+  currently has the fewest outstanding requests.  Hot keys therefore spread
+  over a small, stable shard set (caches stay warm on every candidate)
+  instead of melting one shard while its neighbours idle.
 
 Placement is pluggable: anything implementing :class:`ShardRouter` can be
 handed to the front door (e.g. a locality- or load-aware placement learned
-from the trace).
+from the trace).  A router that defines ``bind_load_probe`` is handed a
+``slot -> load`` callable by the front door (rebound after every resize), so
+load-aware placements see live queue state without owning a reference to the
+tier.
 """
 
 from __future__ import annotations
@@ -138,18 +147,87 @@ class ConsistentHashRouter(ShardRouter):
         return self._ring_shards[index]
 
 
+class JoinShortestQueueRouter(ConsistentHashRouter):
+    """Join-shortest-queue placement over each key's ring affinity candidates.
+
+    A key's *candidates* are the first ``fanout`` distinct shards clockwise
+    from its ring point — a stable, key-determined set, so repeated requests
+    for the same data keep warming the same few caches.  When the front door
+    has bound a load probe (:meth:`bind_load_probe`), an arrival routes to
+    the least-loaded candidate (ties prefer the affinity order, primary
+    first); unbound, the router degrades to pure consistent hashing, since
+    the primary candidate *is* the ring owner.
+
+    ``fanout`` trades affinity against balance: 1 is pure hashing, the shard
+    count is global JSQ (perfect balance, no affinity).  The default of 2 is
+    the classic "power of two choices" — most of the balance win at a
+    fraction of the cache dilution.
+    """
+
+    kind = "jsq"
+
+    def __init__(self, num_shards: int, vnodes: int = 64, fanout: int = 2) -> None:
+        super().__init__(num_shards, vnodes=vnodes)
+        if fanout <= 0:
+            raise ValueError(f"fanout must be positive, got {fanout}")
+        self.fanout = int(fanout)
+        self._load_probe = None
+
+    def resized(self, num_shards: int) -> "JoinShortestQueueRouter":
+        """A ring over ``num_shards`` shards with this router's parameters.
+
+        The load probe is *not* carried over — the front door rebinds it
+        against the post-resize shard set.
+        """
+        return JoinShortestQueueRouter(num_shards, vnodes=self.vnodes, fanout=self.fanout)
+
+    def bind_load_probe(self, probe) -> None:
+        """Attach the ``slot -> outstanding requests`` callable to route by."""
+        self._load_probe = probe
+
+    def candidates(self, key: int) -> list[int]:
+        """The key's affinity candidates: first ``fanout`` distinct ring owners."""
+        point = stable_hash_u64(f"key-{key}")
+        index = bisect.bisect_right(self._ring_points, point)
+        ring_size = len(self._ring_shards)
+        wanted = min(self.fanout, self.num_shards)
+        found: list[int] = []
+        for step in range(ring_size):
+            shard = self._ring_shards[(index + step) % ring_size]
+            if shard not in found:
+                found.append(shard)
+                if len(found) == wanted:
+                    break
+        return found
+
+    def route(self, key: int) -> int:
+        candidates = self.candidates(key)
+        probe = self._load_probe
+        if probe is None or len(candidates) == 1:
+            return candidates[0]
+        best = candidates[0]
+        best_load = probe(best)
+        for shard in candidates[1:]:
+            load = probe(shard)
+            if load < best_load:
+                best, best_load = shard, load
+        return best
+
+
 #: Router kinds understood by :func:`make_router` (and the CLI).
-ROUTER_KINDS: tuple[str, ...] = ("consistent-hash", "modulo")
+ROUTER_KINDS: tuple[str, ...] = ("consistent-hash", "modulo", "jsq")
 
 
 def make_router(kind: str, num_shards: int, **kwargs) -> ShardRouter:
     """Build the router called ``kind`` over ``num_shards`` shards.
 
     Extra keyword arguments pass through to the router constructor
-    (e.g. ``vnodes`` for ``consistent-hash``).
+    (e.g. ``vnodes`` for ``consistent-hash``, ``fanout`` for ``jsq``).
     """
     if kind == "modulo":
         return ModuloRouter(num_shards, **kwargs)
     if kind == "consistent-hash":
         return ConsistentHashRouter(num_shards, **kwargs)
+    if kind == "jsq":
+        return JoinShortestQueueRouter(num_shards, **kwargs)
     raise ValueError(f"unknown router kind {kind!r}; expected one of {ROUTER_KINDS}")

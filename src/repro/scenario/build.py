@@ -1,0 +1,308 @@
+"""Building and running the serving stack a :class:`ScenarioSpec` describes.
+
+:func:`build_tier` is the topology factory: it turns a validated spec into
+the right stack — analytic ``FLStore`` shards behind an ``EngineFLStore``
+facade, optionally a ``ShardedEngineFLStore`` routing front door, optionally
+an ``Autoscaler`` control loop — without running anything.  :func:`run`
+serves the spec's workload mix through that stack open-loop and returns a
+:class:`RunReport`, the typed wrapper over the engine's
+:func:`~repro.engine.flstore.build_load_report` with the conservation
+invariant (``served + degraded + shed == offered``) asserted on every run.
+
+Both are pure functions of the spec: same spec, same virtual timeline, same
+report — which is what lets the sweep layer fan cells out to worker
+processes and what pins the legacy ``run_*_sweep`` entrypoints byte-
+identical to their pre-spec outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis import setup_cache
+from repro.analysis.runner import prepare_setup
+from repro.config import SimulationConfig
+from repro.core.flstore import build_default_flstore
+from repro.engine.autoscale import (
+    AutoscaleConfig,
+    Autoscaler,
+    AutoscaleSummary,
+    make_autoscaler_policy,
+)
+from repro.engine.flstore import EngineFLStore, LoadReport
+from repro.engine.sharded import ShardedEngineFLStore
+from repro.routing import make_router
+from repro.scenario.spec import ScenarioSpec
+from repro.traces.arrivals import make_arrival_process
+
+
+def paper_experiment_config(model_name: str, seed: int = 7) -> SimulationConfig:
+    """The paper's evaluation configuration (reduced weight dimension).
+
+    The single definition shared by the figure experiments
+    (``repro.analysis.experiments``) and the scenario layer, so both draw on
+    the same calibrations and setup snapshots — and can never drift apart.
+    """
+    return SimulationConfig.paper(model_name=model_name, seed=seed).with_job(reduced_dim=64)
+
+
+def base_config(spec: ScenarioSpec) -> SimulationConfig:
+    """The paper-evaluation config of the spec, before tier knobs."""
+    return paper_experiment_config(spec.model, seed=spec.seed)
+
+
+def scenario_config(spec: ScenarioSpec) -> SimulationConfig:
+    """The full simulation config: base config plus the spec's tier knobs."""
+    config = base_config(spec)
+    return replace(
+        config,
+        serverless=replace(
+            config.serverless,
+            max_queue_depth=spec.tier.admission.max_queue_depth,
+            shed_policy=spec.tier.admission.shed_policy,
+            function_concurrency=spec.tier.function_concurrency,
+            queue_discipline=spec.tier.queue_discipline,
+        ),
+    )
+
+
+# Calibration memo: E[S] is a pure function of its key, and one sweep (or
+# one CI smoke over many specs sharing a mix) asks for the same value
+# repeatedly.  Obeys the setup-cache enable switch like every other memo.
+_calibration_cache: dict[tuple, float] = {}
+
+
+def clear_calibration_cache() -> None:
+    """Drop memoized service-time calibrations (used by perf A/B runs)."""
+    _calibration_cache.clear()
+
+
+def calibrate_mean_service_seconds(
+    model_name: str,
+    workloads: tuple[str, ...],
+    num_rounds: int,
+    num_requests: int,
+    seed: int,
+) -> float:
+    """Mean closed-loop service time of a workload mix (seconds).
+
+    Serves the mix sequentially through a fresh engine (no queueing, no
+    admission) and averages the per-request latency — the ``E[S]`` that
+    turns a spec's ``utilization`` into an offered rate and its
+    ``slo_multiplier`` into an SLO.  Uses the *base* config (tier knobs
+    cannot change closed-loop service times, but keeping the config
+    identical keeps the setup snapshots shared with the figure experiments).
+    """
+    key = (model_name, tuple(workloads), num_rounds, num_requests, seed)
+    if setup_cache.enabled() and key in _calibration_cache:
+        return _calibration_cache[key]
+    config = paper_experiment_config(model_name, seed=seed)
+    setup = prepare_setup(config, num_rounds=num_rounds, systems=("flstore",))
+    engine = EngineFLStore(setup.flstore)
+    trace = setup.generator.mixed_trace(list(workloads), num_requests)
+    results = engine.run_closed_loop(trace)
+    mean_service = float(np.mean([r.latency.total_seconds for r in results]))
+    if setup_cache.enabled():
+        _calibration_cache[key] = mean_service
+    return mean_service
+
+
+def calibrate(spec: ScenarioSpec) -> float:
+    """The spec's calibrated mean service time (honouring any pinned value)."""
+    if spec.mean_service_seconds is not None:
+        return spec.mean_service_seconds
+    return calibrate_mean_service_seconds(
+        spec.model,
+        spec.workload.workloads,
+        spec.num_rounds,
+        spec.workload.num_requests,
+        spec.seed,
+    )
+
+
+@dataclass
+class Tier:
+    """A built (not yet run) serving stack plus the context to drive it."""
+
+    spec: ScenarioSpec
+    config: SimulationConfig
+    #: ``EngineFLStore`` (plain topology) or ``ShardedEngineFLStore``.
+    store: object
+    #: Attached control loop, or ``None`` when the spec disables autoscaling.
+    autoscaler: Autoscaler | None
+    #: Trace generator seeded from the config (shard 0's catalog).
+    generator: object
+    #: The calibrated (or pinned) mean service time backing rate/SLO math.
+    mean_service_seconds: float
+
+    @property
+    def sharded(self) -> bool:
+        """Whether the stack has a routing front door."""
+        return isinstance(self.store, ShardedEngineFLStore)
+
+
+def build_tier(spec: ScenarioSpec) -> Tier:
+    """Construct the stack ``spec`` describes, without serving anything.
+
+    * plain topology (``tier.router_kind is None``): one fully ingested
+      ``FLStore`` behind an ``EngineFLStore`` facade;
+    * sharded topology: ``tier.shards`` independent fully ingested stores
+      behind a ``ShardedEngineFLStore`` with the named router;
+    * autoscaled topology: the sharded tier made resizable (shard factory +
+      warm-round replay) with an :class:`Autoscaler` attached — ``run``
+      starts the control loop on the shared virtual timeline.
+    """
+    config = scenario_config(spec)
+    mean_service = calibrate(spec)
+    setups = [
+        prepare_setup(config, num_rounds=spec.num_rounds, systems=("flstore",))
+        for _ in range(spec.tier.shards)
+    ]
+    generator = setups[0].generator
+    autoscaler = None
+    if not spec.tier.sharded:
+        store = EngineFLStore(setups[0].flstore)
+    elif spec.tier.autoscaler.enabled:
+        store = ShardedEngineFLStore(
+            [setup.flstore for setup in setups],
+            router=make_router(spec.tier.router_kind, spec.tier.shards),
+            shard_factory=lambda: build_default_flstore(config),
+            warm_rounds=setups[0].rounds,
+        )
+        autoscale_config = AutoscaleConfig(
+            control_interval_seconds=spec.tier.autoscaler.control_interval_seconds
+        )
+        policy = make_autoscaler_policy(
+            spec.tier.autoscaler.policy, autoscale_config, mean_service_seconds=mean_service
+        )
+        autoscaler = Autoscaler(store, policy, autoscale_config)
+    else:
+        store = ShardedEngineFLStore(
+            [setup.flstore for setup in setups],
+            router=make_router(spec.tier.router_kind, spec.tier.shards),
+        )
+    return Tier(
+        spec=spec,
+        config=config,
+        store=store,
+        autoscaler=autoscaler,
+        generator=generator,
+        mean_service_seconds=mean_service,
+    )
+
+
+@dataclass
+class RunReport:
+    """The typed outcome of one scenario run.
+
+    Wraps the engine's :class:`~repro.engine.flstore.LoadReport` with the
+    scenario context (spec, calibration, offered rate), the tier-level
+    accounting the sharded front door adds, and — when an autoscaler drove
+    the run — its :class:`~repro.engine.autoscale.AutoscaleSummary`.
+    Constructed only by :func:`run`, which has already asserted
+    conservation, so a ``RunReport`` in hand means no request was lost.
+    """
+
+    spec: ScenarioSpec
+    load: LoadReport
+    mean_service_seconds: float
+    slo_seconds: float | None
+    offered_rate_rps: float
+    conserved: bool
+    cached_bytes: int
+    live_keys: int
+    warm_functions: int
+    #: Requests routed to the hottest shard (``None`` for plain topologies):
+    #: the hot-key imbalance measure the router comparison reads.
+    max_shard_routed: int | None = None
+    autoscale: AutoscaleSummary | None = None
+
+    def row(self) -> dict:
+        """One flat result row (tables, CSV/JSON export, sweep grids)."""
+        spec = self.spec
+        row: dict = {"scenario": spec.name, "shards": spec.tier.shards}
+        if spec.tier.sharded:
+            row["router"] = spec.tier.router_kind
+        if self.autoscale is not None:
+            row["autoscaler"] = self.autoscale.policy
+        row["utilization"] = spec.arrival.utilization
+        row.update(self.load.row())
+        row["conserved"] = self.conserved
+        if self.max_shard_routed is not None:
+            row["max_shard_routed"] = self.max_shard_routed
+            row["cached_bytes"] = self.cached_bytes
+            row["live_keys"] = self.live_keys
+            row["warm_functions"] = self.warm_functions
+        if self.autoscale is not None:
+            row.update(
+                {k: v for k, v in self.autoscale.row().items() if k != "autoscaler"}
+            )
+        return row
+
+
+def run(spec: ScenarioSpec) -> RunReport:
+    """Build the spec's stack, serve its mix open-loop, and report.
+
+    The run replays the spec's deterministic workload mix with arrival
+    instants drawn from the spec's process at ``utilization / E[S]`` (or the
+    explicit ``rate_rps``), with keep-alive daemons live and — if the spec
+    enables one — the autoscaler's control loop ticking on the same virtual
+    timeline.  Conservation is asserted before the report is returned: a
+    tier (resizing or not) must account for every offered request exactly
+    once, as served, degraded, or shed.
+    """
+    tier = build_tier(spec)
+    mean_service = tier.mean_service_seconds
+    slo_seconds = spec.slo_multiplier * mean_service if spec.slo_multiplier else None
+    if spec.arrival.rate_rps is not None:
+        rate = spec.arrival.rate_rps
+    else:
+        rate = spec.arrival.utilization / mean_service
+    trace = tier.generator.mixed_trace(list(spec.workload.workloads), spec.workload.num_requests)
+    arrivals = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed).times(len(trace))
+    if tier.autoscaler is not None:
+        label = f"{spec.arrival.kind}/{spec.tier.autoscaler.policy}"
+        report = tier.store.run_open_loop(
+            trace,
+            arrivals,
+            label=label,
+            keepalive=True,
+            slo_seconds=slo_seconds,
+            autoscaler=tier.autoscaler,
+        )
+    else:
+        report = tier.store.run_open_loop(
+            trace, arrivals, label=spec.arrival.kind, keepalive=True, slo_seconds=slo_seconds
+        )
+    if not report.conserved:
+        raise RuntimeError(
+            f"conservation violated in scenario {spec.name!r}: "
+            f"{report.served} served + {report.degraded} degraded + {report.shed} shed "
+            f"!= {report.submitted} offered"
+        )
+    store = tier.store
+    if tier.sharded:
+        max_shard_routed = max(store.routed_counts)
+        cached_bytes = store.cached_bytes
+        live_keys = store.live_key_count
+        warm_functions = store.warm_function_count
+    else:
+        max_shard_routed = None
+        cached_bytes = store.flstore.cached_bytes
+        live_keys = store.flstore.cluster.live_key_count
+        warm_functions = store.flstore.warm_function_count
+    return RunReport(
+        spec=spec,
+        load=report,
+        mean_service_seconds=mean_service,
+        slo_seconds=slo_seconds,
+        offered_rate_rps=rate,
+        conserved=True,
+        cached_bytes=cached_bytes,
+        live_keys=live_keys,
+        warm_functions=warm_functions,
+        max_shard_routed=max_shard_routed,
+        autoscale=tier.autoscaler.summary() if tier.autoscaler is not None else None,
+    )

@@ -1,0 +1,134 @@
+"""The scenario registry: named, ready-to-run specs.
+
+Mirrors the workload registry's role one level up: where
+:mod:`repro.workloads.registry` names what can be served, this registry
+names whole serving *scenarios* — spec trees exercising each topology the
+tier factory can build.  The bundled scenarios double as documentation (one
+per topology/feature) and as the source of the checked-in example spec
+files under ``examples/scenarios/``, which a test pins equal to the
+registered specs so neither can rot.
+
+``repro.cli run-scenario --name <scenario>`` runs a registered scenario
+directly; ``register_scenario`` is the extension point for projects layering
+their own.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.spec import (
+    AdmissionSpec,
+    ArrivalSpec,
+    AutoscalerSpec,
+    ScenarioSpec,
+    TierSpec,
+    WorkloadMixSpec,
+)
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace_existing: bool = False) -> ScenarioSpec:
+    """Register ``spec`` under its ``name``."""
+    if spec.name in _REGISTRY and not replace_existing:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Return the registered scenario called ``name``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered scenarios: {known}") from exc
+
+
+def list_scenarios() -> list[str]:
+    """Names of every registered scenario, sorted."""
+    return sorted(_REGISTRY)
+
+
+def smoke_spec(spec: ScenarioSpec, num_rounds: int = 4, num_requests: int = 12) -> ScenarioSpec:
+    """A shrunk copy of ``spec`` for smoke runs (CI, example validation).
+
+    Caps the ingested rounds and the trace length while keeping every
+    topology knob intact, so a smoke run still builds the same stack and
+    still asserts conservation — it just finishes in well under a second.
+    """
+    return spec.with_overrides(
+        {
+            "num_rounds": min(spec.num_rounds, num_rounds),
+            "workload.num_requests": min(spec.workload.num_requests, num_requests),
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bundled scenarios — one per topology/feature of the serving tier.
+# ---------------------------------------------------------------------------
+
+for _spec in (
+    # The plain-engine open-loop baseline: one store, no front door.
+    ScenarioSpec(
+        name="engine-baseline",
+        num_rounds=8,
+        workload=WorkloadMixSpec(num_requests=48),
+        arrival=ArrivalSpec(kind="poisson", utilization=1.0),
+    ),
+    # Four hashed shards under bursty overload with drop shedding.
+    ScenarioSpec(
+        name="sharded-burst",
+        num_rounds=8,
+        workload=WorkloadMixSpec(num_requests=64),
+        arrival=ArrivalSpec(kind="bursty", utilization=2.0),
+        tier=TierSpec(
+            shards=4,
+            router_kind="consistent-hash",
+            admission=AdmissionSpec(max_queue_depth=8, shed_policy="drop"),
+        ),
+    ),
+    # Load-aware routing on a hot-keyed mix: JSQ over the affinity
+    # candidates, overflow degraded to the object-store bypass.
+    ScenarioSpec(
+        name="jsq-hotkey",
+        num_rounds=8,
+        workload=WorkloadMixSpec(workloads=("inference", "scheduling_perf"), num_requests=64),
+        arrival=ArrivalSpec(kind="bursty", utilization=2.0),
+        tier=TierSpec(
+            shards=4,
+            router_kind="jsq",
+            admission=AdmissionSpec(max_queue_depth=6, shed_policy="degrade-to-objstore"),
+        ),
+    ),
+    # The resizable tier under a diurnal cycle, scaled ahead of the peak.
+    ScenarioSpec(
+        name="autoscale-diurnal",
+        num_rounds=8,
+        workload=WorkloadMixSpec(num_requests=96),
+        arrival=ArrivalSpec(kind="diurnal", utilization=2.5),
+        tier=TierSpec(
+            shards=1,
+            router_kind="consistent-hash",
+            admission=AdmissionSpec(max_queue_depth=6, shed_policy="drop"),
+            autoscaler=AutoscalerSpec(enabled=True, policy="predictive"),
+        ),
+    ),
+    # Priority queues under bursty overload: P1 jumps the queue on two
+    # shards with two warm slots per function, nothing shed.
+    ScenarioSpec(
+        name="priority-overload",
+        num_rounds=8,
+        workload=WorkloadMixSpec(num_requests=64),
+        arrival=ArrivalSpec(kind="bursty", utilization=2.0),
+        tier=TierSpec(
+            shards=2,
+            router_kind="consistent-hash",
+            function_concurrency=2,
+            queue_discipline="priority",
+        ),
+    ),
+):
+    register_scenario(_spec)
+
+del _spec

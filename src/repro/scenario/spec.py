@@ -1,0 +1,547 @@
+"""The declarative scenario specification: one typed spec per serving scenario.
+
+A :class:`ScenarioSpec` is a frozen, validated description of everything a
+serving experiment needs — the workload mix, the open-loop arrival process,
+and the tier topology (shard count, router, admission control, per-function
+concurrency, autoscaling policy) — detached from any particular entrypoint.
+The same spec builds the stack (:func:`repro.scenario.build.build_tier`),
+runs it (:func:`repro.scenario.build.run`), and sweeps it
+(:func:`repro.scenario.sweep.sweep`); the legacy ``run_*_sweep`` functions
+are thin grids of specs.
+
+Design rules:
+
+* **Every string knob is validated here, at build time.**  An invalid
+  ``shed_policy``, ``queue_discipline``, ``router_kind``, autoscaler policy,
+  arrival kind, workload, or model name raises
+  :class:`ScenarioValidationError` the moment the spec is constructed —
+  never a ``KeyError`` three layers down a serving tier.
+* **Specs are data.**  ``to_dict``/``from_dict`` round-trip losslessly, and
+  so do the JSON and TOML file forms (:meth:`ScenarioSpec.save` /
+  :meth:`ScenarioSpec.load`); ``from_dict`` rejects unknown keys so a typo
+  in a checked-in spec cannot silently no-op.
+* **Specs are immutable.**  Variations are expressed as dotted-path
+  overrides (:func:`apply_overrides`, the ``--set tier.shards=4`` CLI
+  surface), which re-validate the whole tree.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
+from repro.engine.autoscale import AUTOSCALER_KINDS
+from repro.fl.models import MODEL_ZOO
+from repro.routing import ROUTER_KINDS
+from repro.traces.arrivals import ARRIVAL_KINDS
+from repro.workloads.registry import list_workloads
+
+#: The default workload mix of serving scenarios: one P1 (inference), one P2
+#: (clustering), one P4 (metadata) workload, so the offered stream touches
+#: the policy classes with distinct data needs.  (The legacy load sweep's
+#: ``LOAD_SWEEP_WORKLOADS`` aliases this.)
+DEFAULT_SCENARIO_WORKLOADS: tuple[str, ...] = ("inference", "clustering", "scheduling_perf")
+
+
+class ScenarioValidationError(ConfigurationError):
+    """A scenario spec holds an invalid or inconsistent value.
+
+    The single failure mode of the whole spec layer: unknown knob strings,
+    out-of-range numbers, unknown dict keys, and cross-field inconsistencies
+    (a multi-shard tier without a router) all raise this, at spec build
+    time.
+    """
+
+
+def _fail(message: str) -> None:
+    raise ScenarioValidationError(message)
+
+
+def _coerce_int(spec: object, name: str, minimum: int | None = None) -> None:
+    value = getattr(spec, name)
+    if isinstance(value, bool) or not isinstance(value, int):
+        try:
+            coerced = int(value)
+        except (TypeError, ValueError):
+            _fail(f"{type(spec).__name__}.{name} must be an integer, got {value!r}")
+        if coerced != value:  # refuse silent truncation of e.g. 2.5 shards
+            _fail(f"{type(spec).__name__}.{name} must be an integer, got {value!r}")
+        object.__setattr__(spec, name, coerced)
+        value = coerced
+    if minimum is not None and value < minimum:
+        _fail(f"{type(spec).__name__}.{name} must be >= {minimum}, got {value}")
+
+
+def _coerce_float(
+    spec: object, name: str, minimum: float | None = None, exclusive: bool = False
+) -> None:
+    value = getattr(spec, name)
+    if not isinstance(value, float):
+        try:
+            coerced = float(value)
+        except (TypeError, ValueError):
+            _fail(f"{type(spec).__name__}.{name} must be a number, got {value!r}")
+        object.__setattr__(spec, name, coerced)
+        value = coerced
+    if minimum is not None and (value <= minimum if exclusive else value < minimum):
+        bound = f"> {minimum}" if exclusive else f">= {minimum}"
+        _fail(f"{type(spec).__name__}.{name} must be {bound}, got {value}")
+
+
+def _check_choice(spec: object, name: str, choices: Sequence[str]) -> None:
+    value = getattr(spec, name)
+    if value not in choices:
+        _fail(
+            f"{type(spec).__name__}.{name} must be one of {tuple(choices)}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadMixSpec:
+    """What is served: the workload mix replayed by every run of the spec."""
+
+    #: Workload names (must be registered in :mod:`repro.workloads.registry`);
+    #: interleaved round-aligned by ``RequestTraceGenerator.mixed_trace``.
+    workloads: tuple[str, ...] = DEFAULT_SCENARIO_WORKLOADS
+    #: Number of requests in the replayed trace.
+    num_requests: int = 120
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workloads, str):
+            object.__setattr__(
+                self, "workloads", tuple(w.strip() for w in self.workloads.split(",") if w.strip())
+            )
+        else:
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not self.workloads:
+            _fail("WorkloadMixSpec.workloads must name at least one workload")
+        registered = set(list_workloads())
+        unknown = sorted(set(self.workloads) - registered)
+        if unknown:
+            _fail(
+                f"unknown workloads {unknown}; registered workloads: {sorted(registered)}"
+            )
+        _coerce_int(self, "num_requests", minimum=1)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """When requests arrive: the open-loop arrival process driving the run.
+
+    The offered rate is normally expressed as ``utilization`` — a multiple
+    of the calibrated single-tier service rate (``rate = utilization /
+    E[S]``), so specs stay meaningful if the latency model is recalibrated.
+    An explicit ``rate_rps`` bypasses calibration entirely.
+    """
+
+    kind: str = "poisson"
+    utilization: float = 1.0
+    rate_rps: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_choice(self, "kind", ARRIVAL_KINDS)
+        _coerce_float(self, "utilization", minimum=0.0, exclusive=True)
+        if self.rate_rps is not None:
+            _coerce_float(self, "rate_rps", minimum=0.0, exclusive=True)
+
+
+@dataclass(frozen=True)
+class AdmissionSpec:
+    """Per-shard admission control: queue bound and shedding policy."""
+
+    #: Waiting requests allowed per shard; 0 means unbounded.
+    max_queue_depth: int = 0
+    shed_policy: str = "drop"
+
+    def __post_init__(self) -> None:
+        _coerce_int(self, "max_queue_depth", minimum=0)
+        _check_choice(self, "shed_policy", SHED_POLICIES)
+
+
+@dataclass(frozen=True)
+class AutoscalerSpec:
+    """Whether (and how) an autoscaler drives the tier's warm capacity.
+
+    ``enabled=False`` means no control loop is attached at all;
+    ``enabled=True`` with ``policy="none"`` attaches the do-nothing
+    autoscaler, which samples (and accrues the warm-capacity cost integral)
+    but never scales — the fixed-capacity baseline of the autoscale sweep.
+    """
+
+    enabled: bool = False
+    policy: str = "none"
+    control_interval_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            _fail(f"AutoscalerSpec.enabled must be a boolean, got {self.enabled!r}")
+        _check_choice(self, "policy", AUTOSCALER_KINDS)
+        _coerce_float(self, "control_interval_seconds", minimum=0.0, exclusive=True)
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """The serving topology the spec builds.
+
+    ``router_kind=None`` (the default) is the *plain engine* topology: one
+    ``FLStore`` behind an ``EngineFLStore`` facade, no routing front door —
+    what the open-loop load sweep measures.  Naming a router builds a
+    ``ShardedEngineFLStore`` over ``shards`` full shards; enabling the
+    autoscaler additionally makes the tier resizable (``shards`` is then the
+    *starting* count).
+    """
+
+    shards: int = 1
+    router_kind: str | None = None
+    function_concurrency: int = 1
+    queue_discipline: str = "fifo"
+    admission: AdmissionSpec = field(default_factory=AdmissionSpec)
+    autoscaler: AutoscalerSpec = field(default_factory=AutoscalerSpec)
+
+    def __post_init__(self) -> None:
+        _coerce_int(self, "shards", minimum=1)
+        if self.router_kind is not None:
+            _check_choice(self, "router_kind", ROUTER_KINDS)
+        _coerce_int(self, "function_concurrency", minimum=1)
+        _check_choice(self, "queue_discipline", QUEUE_DISCIPLINES)
+        if not isinstance(self.admission, AdmissionSpec):
+            _fail(f"TierSpec.admission must be an AdmissionSpec, got {self.admission!r}")
+        if not isinstance(self.autoscaler, AutoscalerSpec):
+            _fail(f"TierSpec.autoscaler must be an AutoscalerSpec, got {self.autoscaler!r}")
+        if self.router_kind is None and self.shards != 1:
+            _fail(
+                f"a {self.shards}-shard tier needs a router; set tier.router_kind "
+                f"(one of {ROUTER_KINDS}) or keep shards=1"
+            )
+        if self.router_kind is None and self.autoscaler.enabled:
+            _fail(
+                "an autoscaled tier must be sharded (the autoscaler actuates the "
+                f"routing front door); set tier.router_kind (one of {ROUTER_KINDS})"
+            )
+
+    @property
+    def sharded(self) -> bool:
+        """Whether this topology has a routing front door."""
+        return self.router_kind is not None
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One serving scenario, end to end.
+
+    A pure-data description: everything downstream — the simulation config,
+    the serving stack, the trace, the arrival instants, the report — is a
+    deterministic function of this spec (and nothing else), which is what
+    makes sweeps reproducible and specs checkable into version control.
+    """
+
+    name: str = "scenario"
+    model: str = "efficientnet_v2_small"
+    seed: int = 7
+    #: Training rounds ingested before serving.
+    num_rounds: int = 12
+    workload: WorkloadMixSpec = field(default_factory=WorkloadMixSpec)
+    arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
+    tier: TierSpec = field(default_factory=TierSpec)
+    #: Sojourn-time SLO as a multiple of the calibrated mean service time;
+    #: 0 disables the SLO (no violation accounting).
+    slo_multiplier: float = 3.0
+    #: Calibrated mean service time override.  ``None`` (the default) means
+    #: "calibrate from the spec's own workload mix"; sweeps pin it once per
+    #: grid so every cell shares one calibration (and one SLO).
+    mean_service_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            _fail(f"ScenarioSpec.name must be a non-empty string, got {self.name!r}")
+        if self.model not in MODEL_ZOO:
+            _fail(f"unknown model {self.model!r}; known models: {sorted(MODEL_ZOO)}")
+        _coerce_int(self, "seed")
+        _coerce_int(self, "num_rounds", minimum=1)
+        for spec_name, spec_type in (
+            ("workload", WorkloadMixSpec),
+            ("arrival", ArrivalSpec),
+            ("tier", TierSpec),
+        ):
+            if not isinstance(getattr(self, spec_name), spec_type):
+                _fail(
+                    f"ScenarioSpec.{spec_name} must be a {spec_type.__name__}, "
+                    f"got {getattr(self, spec_name)!r}"
+                )
+        _coerce_float(self, "slo_multiplier", minimum=0.0)
+        if self.mean_service_seconds is not None:
+            _coerce_float(self, "mean_service_seconds", minimum=0.0, exclusive=True)
+
+    # ------------------------------------------------------------- dict form
+
+    def to_dict(self) -> dict:
+        """The spec as a plain nested dict (JSON/TOML-ready, order stable)."""
+        return {
+            "name": self.name,
+            "model": self.model,
+            "seed": self.seed,
+            "num_rounds": self.num_rounds,
+            "slo_multiplier": self.slo_multiplier,
+            "mean_service_seconds": self.mean_service_seconds,
+            "workload": {
+                "workloads": list(self.workload.workloads),
+                "num_requests": self.workload.num_requests,
+            },
+            "arrival": {
+                "kind": self.arrival.kind,
+                "utilization": self.arrival.utilization,
+                "rate_rps": self.arrival.rate_rps,
+            },
+            "tier": {
+                "shards": self.tier.shards,
+                "router_kind": self.tier.router_kind,
+                "function_concurrency": self.tier.function_concurrency,
+                "queue_discipline": self.tier.queue_discipline,
+                "admission": {
+                    "max_queue_depth": self.tier.admission.max_queue_depth,
+                    "shed_policy": self.tier.admission.shed_policy,
+                },
+                "autoscaler": {
+                    "enabled": self.tier.autoscaler.enabled,
+                    "policy": self.tier.autoscaler.policy,
+                    "control_interval_seconds": self.tier.autoscaler.control_interval_seconds,
+                },
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        """Build (and fully validate) a spec from its dict form.
+
+        Missing keys take their defaults — a TOML file may omit ``null``
+        fields entirely — but *unknown* keys at any level raise
+        :class:`ScenarioValidationError`, so a misspelt knob in a checked-in
+        spec fails loudly instead of silently running the default.
+        """
+        tree = dict(data)
+        workload = _build_section(tree.pop("workload", {}), WorkloadMixSpec, "workload")
+        arrival = _build_section(tree.pop("arrival", {}), ArrivalSpec, "arrival")
+        tier_tree = tree.pop("tier", {})
+        if not isinstance(tier_tree, Mapping):
+            _fail(f"tier must be a table/object, got {tier_tree!r}")
+        tier_tree = dict(tier_tree)
+        admission = _build_section(tier_tree.pop("admission", {}), AdmissionSpec, "tier.admission")
+        autoscaler = _build_section(
+            tier_tree.pop("autoscaler", {}), AutoscalerSpec, "tier.autoscaler"
+        )
+        tier = _build_section(tier_tree, TierSpec, "tier", admission=admission, autoscaler=autoscaler)
+        return _build_section(
+            tree, cls, "scenario", workload=workload, arrival=arrival, tier=tier
+        )
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
+        """A copy with dotted-path overrides applied (see :func:`apply_overrides`)."""
+        return apply_overrides(self, overrides)
+
+    # ------------------------------------------------------------- file form
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from a JSON document."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioValidationError(f"invalid JSON scenario spec: {exc}") from exc
+        if not isinstance(data, dict):
+            _fail(f"a scenario spec must be a JSON object, got {type(data).__name__}")
+        return cls.from_dict(data)
+
+    def to_toml(self) -> str:
+        """The spec as a TOML document (``None`` fields are omitted)."""
+        return _dump_toml(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ScenarioSpec":
+        """Parse a spec from a TOML document."""
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ScenarioValidationError(f"invalid TOML scenario spec: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the spec to ``path`` (format chosen by the file suffix)."""
+        path = Path(path)
+        if path.suffix == ".toml":
+            text = self.to_toml()
+        elif path.suffix == ".json":
+            text = self.to_json()
+        else:
+            _fail(f"scenario spec files must end in .json or .toml, got {path.name!r}")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ScenarioSpec":
+        """Read a spec from a ``.json`` or ``.toml`` file."""
+        path = Path(path)
+        if not path.exists():
+            _fail(f"scenario spec file {path} does not exist")
+        if path.suffix == ".toml":
+            return cls.from_toml(path.read_text())
+        if path.suffix == ".json":
+            return cls.from_json(path.read_text())
+        _fail(f"scenario spec files must end in .json or .toml, got {path.name!r}")
+        raise AssertionError("unreachable")
+
+
+def _build_section(data: Any, spec_type: type, label: str, **built: Any):
+    """Construct one spec dataclass from a mapping, rejecting unknown keys."""
+    if not isinstance(data, Mapping):
+        _fail(f"{label} must be a table/object, got {data!r}")
+    known = {f.name for f in fields(spec_type)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        _fail(f"unknown {label} keys {unknown}; known keys: {sorted(known - set(built))}")
+    kwargs = {key: value for key, value in data.items() if key not in built}
+    kwargs.update(built)
+    return spec_type(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Dotted-path overrides (the `--set tier.shards=4` surface)
+# ---------------------------------------------------------------------------
+
+
+def coerce_override(value: Any, current: Any, key: str) -> Any:
+    """Coerce a CLI string override toward the type of the value it replaces.
+
+    Non-string values (programmatic overrides, sweep axis values) pass
+    through untouched; validation happens when the spec rebuilds.  Strings
+    are interpreted: ``null`` clears optional fields (``none`` too, except
+    on string-valued fields, where ``"none"`` is a legal knob value — the
+    autoscaler policy), ``true``/``false`` are booleans, numbers parse by
+    the current field's type (int stays int), and comma lists split for
+    tuple-valued fields.
+    """
+    if not isinstance(value, str):
+        return value
+    text = value.strip()
+    if text.lower() == "null" or (text.lower() == "none" and not isinstance(current, str)):
+        return None
+    if isinstance(current, bool):
+        if text.lower() in ("true", "1", "yes"):
+            return True
+        if text.lower() in ("false", "0", "no"):
+            return False
+        _fail(f"override {key}={value!r} is not a boolean")
+    if isinstance(current, list):
+        return [item.strip() for item in text.split(",") if item.strip()]
+    if isinstance(current, bool) is False and isinstance(current, int):
+        try:
+            return int(text)
+        except ValueError:
+            _fail(f"override {key}={value!r} is not an integer")
+    if isinstance(current, float):
+        try:
+            return float(text)
+        except ValueError:
+            _fail(f"override {key}={value!r} is not a number")
+    if current is None:
+        # No type to steer by (router_kind, rate_rps, ...): numbers parse as
+        # numbers, anything else stays a string and is validated downstream.
+        for parse in (int, float):
+            try:
+                return parse(text)
+            except ValueError:
+                continue
+    return text
+
+
+def _resolve_leaf(tree: dict, key: str) -> tuple[dict, str]:
+    """Resolve a dotted path to its ``(parent dict, leaf key)`` in ``tree``.
+
+    The single definition of what a settable spec field *is*: unknown paths
+    and non-leaf (section) paths raise :class:`ScenarioValidationError`.
+    Shared by :func:`apply_overrides` and the CLI's ``--set``/``--sweep``
+    surfaces so the two can never diverge.
+    """
+    parts = key.split(".")
+    node: Any = tree
+    for part in parts[:-1]:
+        child = node.get(part) if isinstance(node, dict) else None
+        if not isinstance(child, dict):
+            _fail(f"unknown scenario field {key!r}")
+        node = child
+    leaf = parts[-1]
+    if not isinstance(node, dict) or leaf not in node or isinstance(node[leaf], dict):
+        _fail(f"unknown scenario field {key!r}")
+    return node, leaf
+
+
+def field_value(spec: ScenarioSpec, key: str) -> Any:
+    """The current value of one dotted spec field (unknown paths raise)."""
+    node, leaf = _resolve_leaf(spec.to_dict(), key)
+    return node[leaf]
+
+
+def apply_overrides(spec: ScenarioSpec, overrides: Mapping[str, Any]) -> ScenarioSpec:
+    """Rebuild ``spec`` with dotted-path overrides applied.
+
+    Keys are dotted paths into the spec's dict form
+    (``tier.admission.max_queue_depth``); unknown paths raise
+    :class:`ScenarioValidationError`.  The returned spec is re-validated
+    from scratch, so an override can never smuggle in an invalid knob.
+    """
+    tree = spec.to_dict()
+    for key, value in overrides.items():
+        node, leaf = _resolve_leaf(tree, key)
+        node[leaf] = coerce_override(value, node[leaf], key)
+    return ScenarioSpec.from_dict(tree)
+
+
+# ---------------------------------------------------------------------------
+# Minimal TOML emission (tomllib reads; nothing in the stdlib writes)
+# ---------------------------------------------------------------------------
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)  # valid TOML basic string
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(item) for item in value) + "]"
+    raise ScenarioValidationError(f"cannot express {value!r} in a TOML scenario spec")
+
+
+def _dump_toml(tree: Mapping[str, Any], prefix: str = "") -> str:
+    """Emit the spec's nested-dict form as TOML; ``None`` values are omitted
+    (TOML has no null — ``from_dict`` restores the field's default)."""
+    scalars = []
+    tables = []
+    for key, value in tree.items():
+        if value is None:
+            continue
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        else:
+            scalars.append(f"{key} = {_toml_scalar(value)}")
+    chunks = []
+    if scalars:
+        header = f"[{prefix}]\n" if prefix else ""
+        chunks.append(header + "\n".join(scalars) + "\n")
+    for key, value in tables:
+        child_prefix = f"{prefix}.{key}" if prefix else key
+        child = _dump_toml(value, prefix=child_prefix)
+        if child:
+            chunks.append(child)
+    return "\n".join(chunks)

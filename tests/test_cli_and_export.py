@@ -114,6 +114,76 @@ class TestCli:
             assert row["conserved"] is True
             assert row["served"] + row["shed"] + row["degraded"] == 12
 
+    def test_run_scenario_list(self, capsys):
+        assert main(["run-scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "engine-baseline" in out and "autoscale-diurnal" in out
+
+    def test_run_scenario_by_name_with_overrides(self, tmp_path, capsys):
+        out_file = tmp_path / "scenario.json"
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "--name", "engine-baseline",
+                    "--smoke",
+                    "--set", "arrival.utilization=0.5",
+                    "--set", "seed=9",
+                    "--out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Scenario: engine-baseline" in printed
+        result = load_json(out_file)
+        assert result["spec"]["arrival"]["utilization"] == 0.5
+        assert result["spec"]["seed"] == 9
+        (row,) = result["rows"]
+        assert row["conserved"] is True
+        # --smoke caps the trace at 12 requests; all accounted for.
+        assert row["served"] + row["shed"] + row["degraded"] == 12
+        assert result["mean_service_seconds"] > 0
+
+    def test_run_scenario_from_file_with_sweep_axes(self, tmp_path, capsys):
+        from repro.scenario import get_scenario, smoke_spec
+
+        spec_file = smoke_spec(get_scenario("sharded-burst")).save(tmp_path / "spec.json")
+        out_file = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "run-scenario",
+                    "--spec", str(spec_file),
+                    "--sweep", "tier.router_kind=consistent-hash,jsq",
+                    "--out", str(out_file),
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "Scenario sweep" in printed
+        rows = load_json(out_file)["rows"]
+        assert [row["router"] for row in rows] == ["consistent-hash", "jsq"]
+        assert all(row["conserved"] for row in rows)
+
+    def test_run_scenario_rejects_bad_input(self, capsys):
+        # Exactly one of --spec/--name.
+        assert main(["run-scenario"]) == 2
+        assert main(["run-scenario", "--name", "no-such-scenario"]) == 2
+        assert main(["run-scenario", "--name", "engine-baseline", "--set", "tier.bogus=1"]) == 2
+        assert main(["run-scenario", "--name", "engine-baseline", "--set", "nonsense"]) == 2
+        # Sweep-axis errors exit cleanly too: unknown field, bad value, and
+        # a grid point that fails cross-field validation.
+        assert main(["run-scenario", "--name", "engine-baseline", "--sweep", "tier.bogus=1,2"]) == 2
+        assert (
+            main(["run-scenario", "--name", "engine-baseline", "--sweep", "arrival.kind=poisson,bogus"])
+            == 2
+        )
+        assert main(["run-scenario", "--name", "engine-baseline", "--sweep", "tier.shards=2,4"]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" not in err and "error:" in err
+
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])

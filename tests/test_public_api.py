@@ -45,6 +45,8 @@ class TestPublicApi:
             "repro.core",
             "repro.fl",
             "repro.network",
+            "repro.routing",
+            "repro.scenario",
             "repro.serverless",
             "repro.simulation",
             "repro.traces",

@@ -1,0 +1,411 @@
+"""The declarative scenario API: spec validation, round-trips, build, run, sweep."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
+from repro.engine.autoscale import AUTOSCALER_KINDS, Autoscaler
+from repro.engine.flstore import EngineFLStore
+from repro.engine.sharded import ShardedEngineFLStore
+from repro.fl.models import MODEL_ZOO
+from repro.routing import ROUTER_KINDS
+from repro.scenario import (
+    AdmissionSpec,
+    ArrivalSpec,
+    AutoscalerSpec,
+    ScenarioSpec,
+    ScenarioValidationError,
+    TierSpec,
+    WorkloadMixSpec,
+    apply_overrides,
+    build_tier,
+    expand_axes,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run,
+    smoke_spec,
+    sweep,
+)
+from repro.traces.arrivals import ARRIVAL_KINDS
+from repro.workloads.registry import list_workloads
+
+
+def _tiny_spec(**overrides) -> ScenarioSpec:
+    """A laptop-instant spec: few rounds, few requests, defaults elsewhere."""
+    spec = ScenarioSpec(
+        name="tiny",
+        num_rounds=3,
+        workload=WorkloadMixSpec(num_requests=8),
+    )
+    return spec.with_overrides(overrides) if overrides else spec
+
+
+# ---------------------------------------------------------------------------
+# Central knob validation — every invalid string fails at spec build time
+# ---------------------------------------------------------------------------
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"tier.admission.shed_policy": "toss"},
+            {"tier.admission.max_queue_depth": -1},
+            {"tier.queue_discipline": "lifo"},
+            {"tier.router_kind": "rendezvous"},
+            {"tier.autoscaler.policy": "magic"},
+            {"tier.autoscaler.control_interval_seconds": 0},
+            {"arrival.kind": "weekly"},
+            {"arrival.utilization": 0},
+            {"workload.workloads": "inference,not_a_workload"},
+            {"workload.num_requests": 0},
+            {"model": "gpt-17"},
+            {"num_rounds": 0},
+            {"slo_multiplier": -1},
+            {"mean_service_seconds": 0},
+            {"tier.shards": "2.5"},
+        ],
+    )
+    def test_invalid_knobs_raise_scenario_validation_error(self, override):
+        with pytest.raises(ScenarioValidationError):
+            apply_overrides(ScenarioSpec(), override)
+
+    def test_multi_shard_tier_requires_router(self):
+        with pytest.raises(ScenarioValidationError, match="needs a router"):
+            TierSpec(shards=4)
+
+    def test_autoscaled_tier_requires_router(self):
+        with pytest.raises(ScenarioValidationError, match="must be sharded"):
+            TierSpec(autoscaler=AutoscalerSpec(enabled=True))
+
+    def test_unknown_dict_keys_rejected_at_every_level(self):
+        good = ScenarioSpec().to_dict()
+        for path in ((), ("tier",), ("tier", "admission"), ("workload",), ("arrival",)):
+            tree = ScenarioSpec().to_dict()
+            node = tree
+            for part in path:
+                node = node[part]
+            node["no_such_knob"] = 1
+            with pytest.raises(ScenarioValidationError, match="no_such_knob"):
+                ScenarioSpec.from_dict(tree)
+        assert ScenarioSpec.from_dict(good) == ScenarioSpec()
+
+    def test_missing_keys_take_defaults(self):
+        assert ScenarioSpec.from_dict({}) == ScenarioSpec()
+        assert ScenarioSpec.from_dict({"tier": {"shards": 1}}) == ScenarioSpec()
+
+    def test_workloads_accept_comma_string(self):
+        spec = WorkloadMixSpec(workloads="inference, clustering")
+        assert spec.workloads == ("inference", "clustering")
+
+    def test_validation_error_is_a_configuration_error(self):
+        from repro.common.errors import ConfigurationError
+
+        assert issubclass(ScenarioValidationError, ConfigurationError)
+
+
+# ---------------------------------------------------------------------------
+# Round-trips: dict / JSON / TOML (hypothesis over the whole valid spec space)
+# ---------------------------------------------------------------------------
+
+
+_names = st.text(alphabet=string.ascii_lowercase + string.digits + "-_. ", min_size=1)
+_small_floats = st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def scenario_specs(draw) -> ScenarioSpec:
+    router_kind = draw(st.sampled_from((None,) + ROUTER_KINDS))
+    shards = 1 if router_kind is None else draw(st.integers(1, 8))
+    autoscaler = AutoscalerSpec(
+        enabled=router_kind is not None and draw(st.booleans()),
+        policy=draw(st.sampled_from(AUTOSCALER_KINDS)),
+        control_interval_seconds=draw(_small_floats),
+    )
+    workloads = tuple(
+        draw(
+            st.lists(
+                st.sampled_from(sorted(list_workloads())), min_size=1, max_size=4, unique=True
+            )
+        )
+    )
+    return ScenarioSpec(
+        name=draw(_names),
+        model=draw(st.sampled_from(sorted(MODEL_ZOO))),
+        seed=draw(st.integers(0, 2**31)),
+        num_rounds=draw(st.integers(1, 64)),
+        workload=WorkloadMixSpec(workloads=workloads, num_requests=draw(st.integers(1, 512))),
+        arrival=ArrivalSpec(
+            kind=draw(st.sampled_from(ARRIVAL_KINDS)),
+            utilization=draw(_small_floats),
+            rate_rps=draw(st.one_of(st.none(), _small_floats)),
+        ),
+        tier=TierSpec(
+            shards=shards,
+            router_kind=router_kind,
+            function_concurrency=draw(st.integers(1, 4)),
+            queue_discipline=draw(st.sampled_from(QUEUE_DISCIPLINES)),
+            admission=AdmissionSpec(
+                max_queue_depth=draw(st.integers(0, 64)),
+                shed_policy=draw(st.sampled_from(SHED_POLICIES)),
+            ),
+            autoscaler=autoscaler,
+        ),
+        slo_multiplier=draw(st.one_of(st.just(0.0), _small_floats)),
+        mean_service_seconds=draw(st.one_of(st.none(), _small_floats)),
+    )
+
+
+class TestRoundTrips:
+    @given(scenario_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_dict_round_trip(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(scenario_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_json_round_trip(self, spec):
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @given(scenario_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_toml_round_trip(self, spec):
+        assert ScenarioSpec.from_toml(spec.to_toml()) == spec
+
+    def test_file_round_trip_both_formats(self, tmp_path):
+        spec = get_scenario("sharded-burst")
+        for suffix in (".json", ".toml"):
+            path = spec.save(tmp_path / f"spec{suffix}")
+            assert ScenarioSpec.load(path) == spec
+
+    def test_unsupported_suffix_and_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ScenarioValidationError):
+            ScenarioSpec().save(tmp_path / "spec.yaml")
+        with pytest.raises(ScenarioValidationError):
+            ScenarioSpec.load(tmp_path / "missing.json")
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ScenarioValidationError):
+            ScenarioSpec.from_json("{not json")
+        with pytest.raises(ScenarioValidationError):
+            ScenarioSpec.from_toml("= broken")
+
+
+# ---------------------------------------------------------------------------
+# Dotted-path overrides (the --set / sweep-axis surface)
+# ---------------------------------------------------------------------------
+
+
+class TestOverrides:
+    def test_string_values_coerce_to_field_types(self):
+        spec = apply_overrides(
+            ScenarioSpec(),
+            {
+                "tier.shards": "4",
+                "tier.router_kind": "jsq",
+                "tier.admission.max_queue_depth": "6",
+                "tier.autoscaler.enabled": "true",
+                "tier.autoscaler.policy": "none",
+                "arrival.utilization": "2.5",
+                "workload.workloads": "inference,clustering",
+                "mean_service_seconds": "0.25",
+            },
+        )
+        assert spec.tier.shards == 4
+        assert spec.tier.router_kind == "jsq"
+        assert spec.tier.admission.max_queue_depth == 6
+        assert spec.tier.autoscaler.enabled is True
+        # "none" stays a string on string-valued fields: it names a policy.
+        assert spec.tier.autoscaler.policy == "none"
+        assert spec.arrival.utilization == 2.5
+        assert spec.workload.workloads == ("inference", "clustering")
+        assert spec.mean_service_seconds == 0.25
+
+    def test_null_clears_optional_fields(self):
+        spec = apply_overrides(
+            get_scenario("sharded-burst"),
+            {"tier.router_kind": "null", "tier.shards": 1},
+        )
+        assert spec.tier.router_kind is None
+
+    def test_unknown_paths_rejected(self):
+        for key in ("tier.bogus", "bogus", "tier.admission.bogus", "tier", "tier.admission"):
+            with pytest.raises(ScenarioValidationError, match="unknown scenario field"):
+                apply_overrides(ScenarioSpec(), {key: 1})
+
+    def test_overrides_do_not_mutate_the_original(self):
+        original = ScenarioSpec()
+        apply_overrides(original, {"tier.shards": 4, "tier.router_kind": "modulo"})
+        assert original.tier.shards == 1
+
+
+# ---------------------------------------------------------------------------
+# build_tier — one factory, every topology
+# ---------------------------------------------------------------------------
+
+
+class TestBuildTier:
+    def test_plain_topology_builds_engine(self):
+        tier = build_tier(_tiny_spec())
+        assert isinstance(tier.store, EngineFLStore)
+        assert tier.autoscaler is None
+        assert not tier.sharded
+        assert tier.mean_service_seconds > 0
+
+    def test_sharded_topology_builds_front_door(self):
+        tier = build_tier(_tiny_spec(**{"tier.shards": 3, "tier.router_kind": "modulo"}))
+        assert isinstance(tier.store, ShardedEngineFLStore)
+        assert tier.store.num_shards == 3
+        assert tier.store.router.kind == "modulo"
+        assert tier.autoscaler is None
+
+    def test_autoscaled_topology_attaches_control_loop(self):
+        tier = build_tier(
+            _tiny_spec(
+                **{
+                    "tier.router_kind": "consistent-hash",
+                    "tier.autoscaler.enabled": "true",
+                    "tier.autoscaler.policy": "reactive",
+                }
+            )
+        )
+        assert isinstance(tier.store, ShardedEngineFLStore)
+        assert isinstance(tier.autoscaler, Autoscaler)
+        assert tier.autoscaler.policy.name == "reactive"
+        # The resizable tier can actually scale out (factory + warm rounds).
+        assert tier.store._shard_factory is not None
+
+    def test_tier_knobs_reach_the_serverless_config(self):
+        tier = build_tier(
+            _tiny_spec(
+                **{
+                    "tier.admission.max_queue_depth": 5,
+                    "tier.admission.shed_policy": "degrade-to-objstore",
+                    "tier.function_concurrency": 2,
+                    "tier.queue_discipline": "priority",
+                }
+            )
+        )
+        serverless = tier.config.serverless
+        assert serverless.max_queue_depth == 5
+        assert serverless.shed_policy == "degrade-to-objstore"
+        assert serverless.function_concurrency == 2
+        assert serverless.queue_discipline == "priority"
+        assert tier.store.max_queue_depth == 5
+
+
+# ---------------------------------------------------------------------------
+# run — typed report, conservation, determinism
+# ---------------------------------------------------------------------------
+
+
+class TestRun:
+    def test_run_is_deterministic(self):
+        first = run(_tiny_spec())
+        second = run(_tiny_spec())
+        assert first.row() == second.row()
+
+    def test_report_carries_conservation_and_context(self):
+        report = run(_tiny_spec(**{"tier.shards": 2, "tier.router_kind": "consistent-hash"}))
+        assert report.conserved is True
+        assert report.load.submitted == 8
+        assert report.max_shard_routed is not None
+        row = report.row()
+        assert row["scenario"] == "tiny"
+        assert row["shards"] == 2
+        assert row["router"] == "consistent-hash"
+        assert row["served"] + row["shed"] + row["degraded"] == 8
+
+    def test_plain_report_has_no_shard_columns(self):
+        row = run(_tiny_spec()).row()
+        assert "max_shard_routed" not in row
+        assert "router" not in row
+
+    def test_explicit_rate_bypasses_utilization(self):
+        report = run(_tiny_spec(**{"arrival.rate_rps": 2.0}))
+        assert report.offered_rate_rps == 2.0
+
+    def test_autoscaled_run_reports_summary(self):
+        report = run(
+            smoke_spec(get_scenario("autoscale-diurnal"), num_rounds=3, num_requests=10)
+        )
+        assert report.autoscale is not None
+        row = report.row()
+        assert row["autoscaler"] == "predictive"
+        assert "capacity_unit_seconds" in row and "warm_capacity_cost_dollars" in row
+
+
+# ---------------------------------------------------------------------------
+# sweep — the generic grid
+# ---------------------------------------------------------------------------
+
+
+class TestSweep:
+    def test_axis_order_is_row_order(self):
+        specs = expand_axes(
+            ScenarioSpec(),
+            {"arrival.kind": ("poisson", "bursty"), "arrival.utilization": (0.5, 1.0)},
+        )
+        combos = [(s.arrival.kind, s.arrival.utilization) for s in specs]
+        assert combos == [("poisson", 0.5), ("poisson", 1.0), ("bursty", 0.5), ("bursty", 1.0)]
+
+    def test_empty_axes_is_a_single_cell(self):
+        assert expand_axes(ScenarioSpec(), {}) == [ScenarioSpec()]
+
+    def test_bad_axis_values_rejected(self):
+        with pytest.raises(ValueError):
+            expand_axes(ScenarioSpec(), {"arrival.kind": ()})
+        with pytest.raises(TypeError):
+            expand_axes(ScenarioSpec(), {"arrival.kind": "poisson"})
+
+    def test_sweep_pins_one_calibration_across_cells(self):
+        rows = sweep(_tiny_spec(), {"arrival.utilization": (0.5, 2.0)})
+        assert len(rows) == 2
+        assert [row["utilization"] for row in rows] == [0.5, 2.0]
+        # Both cells share one calibration, hence one SLO: the violation
+        # rates are comparable across the grid.
+        assert all(row["conserved"] for row in rows)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_bundled_scenarios_cover_every_topology(self):
+        names = list_scenarios()
+        topologies = set()
+        for name in names:
+            tier = get_scenario(name).tier
+            if not tier.sharded:
+                topologies.add("engine")
+            elif tier.autoscaler.enabled:
+                topologies.add("autoscaled")
+            else:
+                topologies.add("sharded")
+        assert topologies == {"engine", "sharded", "autoscaled"}
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("engine-baseline")
+        with pytest.raises(ValueError):
+            register_scenario(spec)
+        # Explicit replacement is allowed (and idempotent here).
+        assert register_scenario(spec, replace_existing=True) == spec
+
+    def test_unknown_scenario_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="engine-baseline"):
+            get_scenario("nope")
+
+    def test_smoke_spec_shrinks_without_touching_topology(self):
+        spec = get_scenario("sharded-burst")
+        smoke = smoke_spec(spec)
+        assert smoke.num_rounds <= 4 and smoke.workload.num_requests <= 12
+        assert smoke.tier == spec.tier
+        assert smoke.arrival == spec.arrival

@@ -1,0 +1,49 @@
+"""The bundled example specs can never rot.
+
+Every file under ``examples/scenarios/`` must (1) parse and validate, (2)
+stay equal to its registered scenario (the files are generated from the
+registry — drift in either direction fails here), and (3) actually run end
+to end at smoke scale with conservation asserted.  CI additionally runs the
+full ``repro.cli run-scenario --spec <file> --smoke`` path on every file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.scenario import ScenarioSpec, get_scenario, list_scenarios, run, smoke_spec
+
+SCENARIO_DIR = Path(__file__).parent.parent / "examples" / "scenarios"
+EXAMPLE_FILES = sorted(SCENARIO_DIR.iterdir()) if SCENARIO_DIR.exists() else []
+
+
+def test_example_directory_is_populated():
+    assert EXAMPLE_FILES, f"no example specs found under {SCENARIO_DIR}"
+    assert {path.suffix for path in EXAMPLE_FILES} == {".json", ".toml"}
+
+
+def test_every_registered_scenario_ships_an_example_file():
+    stems = {path.stem for path in EXAMPLE_FILES}
+    for name in list_scenarios():
+        assert name.replace("-", "_") in stems, f"scenario {name!r} has no example file"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_file_matches_registered_scenario(path):
+    spec = ScenarioSpec.load(path)
+    assert spec == get_scenario(spec.name), (
+        f"{path.name} drifted from the registered {spec.name!r} scenario; "
+        "regenerate it with spec.save() or update the registry"
+    )
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_spec_smoke_runs_and_conserves(path):
+    spec = smoke_spec(ScenarioSpec.load(path), num_rounds=3, num_requests=8)
+    report = run(spec)  # run() raises if conservation is violated
+    assert report.conserved is True
+    assert report.load.submitted == 8
+    row = report.row()
+    assert row["served"] + row["shed"] + row["degraded"] == 8

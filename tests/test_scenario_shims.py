@@ -1,0 +1,124 @@
+"""Byte-identity of the legacy ``run_*_sweep`` shims vs their pre-redesign output.
+
+The golden fixtures under ``tests/data/golden_sweeps/`` were captured from
+the pre-scenario implementations (PR 2-4 code) at seed 7, serialized with
+``json.dump(..., indent=2)``.  The shims — now thin grids over
+``repro.scenario.sweep`` — must reproduce them *byte for byte*: same values,
+same row order, same key order.  Any drift in the scenario layer's config
+construction, trace generation, arrival sampling, or report assembly shows
+up here first.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import (
+    LOAD_SWEEP_WORKLOADS,
+    calibrate_service_time,
+    run_autoscale_sweep,
+    run_load_sweep,
+    run_shard_sweep,
+)
+from repro.scenario import DEFAULT_SCENARIO_WORKLOADS, calibrate_mean_service_seconds
+
+GOLDEN_DIR = Path(__file__).parent / "data" / "golden_sweeps"
+
+#: fixture name -> (shim, the exact kwargs the fixture was captured with).
+GOLDEN_RUNS = {
+    "load": (
+        run_load_sweep,
+        dict(
+            processes=("poisson", "bursty"),
+            utilizations=(0.5, 2.0),
+            num_rounds=5,
+            num_requests=24,
+            seed=7,
+        ),
+    ),
+    "shard": (
+        run_shard_sweep,
+        dict(
+            process="bursty",
+            shard_counts=(1, 2),
+            utilizations=(1.0, 2.0),
+            num_rounds=5,
+            num_requests=16,
+            seed=7,
+            max_queue_depth=3,
+            shed_policy="drop",
+        ),
+    ),
+    "shard_degrade": (
+        run_shard_sweep,
+        dict(
+            process="poisson",
+            shard_counts=(2,),
+            utilizations=(2.0,),
+            num_rounds=5,
+            num_requests=16,
+            seed=7,
+            max_queue_depth=2,
+            shed_policy="degrade-to-objstore",
+            router_kind="modulo",
+        ),
+    ),
+    "autoscale": (
+        run_autoscale_sweep,
+        dict(
+            process="diurnal",
+            utilizations=(2.5,),
+            num_rounds=5,
+            num_requests=48,
+            seed=7,
+            max_queue_depth=2,
+            shed_policy="drop",
+            start_shards=1,
+            control_interval=5.0,
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_RUNS))
+def test_legacy_sweep_is_byte_identical_to_pre_redesign_output(name):
+    shim, kwargs = GOLDEN_RUNS[name]
+    result = shim(**kwargs)
+    # Serialized comparison: values, row order, AND key order must all match
+    # the pre-redesign capture byte for byte.
+    assert json.dumps(result, indent=2) == (GOLDEN_DIR / f"{name}.json").read_text()
+
+
+def test_parallel_shim_rows_match_serial():
+    """Fanning cells out to worker processes must not change a single byte."""
+    serial = run_load_sweep(
+        processes=("poisson",), utilizations=(0.5, 2.0), num_rounds=4, num_requests=10, seed=7
+    )
+    parallel = run_load_sweep(
+        processes=("poisson",),
+        utilizations=(0.5, 2.0),
+        num_rounds=4,
+        num_requests=10,
+        seed=7,
+        workers=2,
+    )
+    assert json.dumps(parallel) == json.dumps(serial)
+
+
+def test_load_sweep_workloads_alias_scenario_default():
+    assert LOAD_SWEEP_WORKLOADS == DEFAULT_SCENARIO_WORKLOADS
+
+
+def test_calibrate_service_time_delegates_to_scenario_layer():
+    direct = calibrate_mean_service_seconds(
+        "efficientnet_v2_small", LOAD_SWEEP_WORKLOADS, 4, 12, 7
+    )
+    assert calibrate_service_time("efficientnet_v2_small", num_rounds=4, num_requests=12) == direct
+
+
+def test_unknown_autoscale_policies_still_fail_before_calibration():
+    with pytest.raises(ValueError, match="unknown autoscaler policies"):
+        run_autoscale_sweep(policies=("reactive", "psychic"))

@@ -11,6 +11,7 @@ from repro.engine import EngineFLStore, ShardedEngineFLStore, merge_depth_sample
 from repro.routing import (
     ROUTER_KINDS,
     ConsistentHashRouter,
+    JoinShortestQueueRouter,
     ModuloRouter,
     make_router,
     request_routing_key,
@@ -82,6 +83,54 @@ class TestRouting:
         assert merged == [(1.0, 1), (2.0, 3), (3.0, 2), (4.0, 1)]
         # Single shard: identity.
         assert merge_depth_samples([[(1.0, 5)]]) == [(1.0, 5)]
+
+
+# ---------------------------------------------------------------------------
+# Load-aware routing (join-shortest-queue over the affinity candidates)
+# ---------------------------------------------------------------------------
+
+
+class TestJoinShortestQueueRouter:
+    def test_candidates_are_stable_distinct_and_affinity_ordered(self):
+        jsq = make_router("jsq", 4)
+        ring = ConsistentHashRouter(4)
+        for i in range(100):
+            key = stable_hash_u64(f"key-{i}")
+            candidates = jsq.candidates(key)
+            assert len(candidates) == 2 and len(set(candidates)) == 2
+            assert candidates == jsq.candidates(key)
+            # The primary candidate is the ring owner: affinity comes first.
+            assert candidates[0] == ring.route(key)
+
+    def test_unbound_probe_degrades_to_pure_hashing(self):
+        jsq, ring = make_router("jsq", 4), ConsistentHashRouter(4)
+        keys = [stable_hash_u64(f"k{i}") for i in range(200)]
+        assert [jsq.route(k) for k in keys] == [ring.route(k) for k in keys]
+
+    def test_probe_steers_to_least_loaded_candidate_with_affinity_ties(self):
+        jsq = make_router("jsq", 4)
+        key = stable_hash_u64("hot")
+        primary, secondary = jsq.candidates(key)
+        loads = {primary: 0, secondary: 0}
+        jsq.bind_load_probe(lambda slot: loads.get(slot, 0))
+        assert jsq.route(key) == primary  # tie -> affinity order
+        loads[primary] = 5
+        assert jsq.route(key) == secondary
+        loads[secondary] = 9
+        assert jsq.route(key) == primary
+
+    def test_fanout_validated_and_capped_by_shard_count(self):
+        with pytest.raises(ValueError):
+            make_router("jsq", 2, fanout=0)
+        assert len(make_router("jsq", 2, fanout=8).candidates(123)) == 2
+
+    def test_resized_preserves_parameters_but_not_the_probe(self):
+        jsq = make_router("jsq", 4, vnodes=16, fanout=3)
+        jsq.bind_load_probe(lambda slot: 0)
+        resized = jsq.resized(5)
+        assert isinstance(resized, JoinShortestQueueRouter)
+        assert (resized.num_shards, resized.vnodes, resized.fanout) == (5, 16, 3)
+        assert resized._load_probe is None
 
 
 # ---------------------------------------------------------------------------
@@ -248,6 +297,45 @@ class TestMultiShard:
         sharded.run_open_loop(trace, [0.0] * len(trace), label="hot")
         assert sorted(sharded.routed_counts, reverse=True)[0] == 8
 
+    def test_jsq_spreads_the_hot_key_hashing_concentrates(self, shard_config, shard_rounds):
+        """The load-aware routing claim, end to end: P1 traffic (one routing
+        key) melts a single shard under pure hashing, while JSQ spreads it
+        over the key's affinity candidates — lower ``max_shard_routed`` and
+        a lower queueing tail at identical offered load."""
+
+        def hot_burst(router_kind):
+            sharded = self._sharded(
+                shard_config, shard_rounds, 4, router=make_router(router_kind, 4)
+            )
+            generator = RequestTraceGenerator(sharded.catalog, seed=3)
+            trace = generator.workload_trace("inference", 12)
+            report = sharded.run_open_loop(trace, [0.0] * len(trace), label=router_kind)
+            return sharded, report
+
+        hashed_tier, hashed_report = hot_burst("consistent-hash")
+        jsq_tier, jsq_report = hot_burst("jsq")
+        assert max(hashed_tier.routed_counts) == 12  # the hot-shard ceiling
+        assert max(jsq_tier.routed_counts) < 12
+        # JSQ stays on the key's two affinity candidates (fanout=2), so the
+        # other shards' caches are untouched.
+        assert sum(1 for count in jsq_tier.routed_counts if count) == 2
+        assert jsq_report.completed == hashed_report.completed == 12
+        assert jsq_report.p99_sojourn_seconds < hashed_report.p99_sojourn_seconds
+
+    def test_jsq_routing_is_deterministic(self, shard_config, shard_rounds):
+        def run_once():
+            sharded = self._sharded(
+                shard_config, shard_rounds, 3, router=make_router("jsq", 3)
+            )
+            generator = RequestTraceGenerator(sharded.catalog, seed=3)
+            trace = generator.mixed_trace(["inference", "clustering"], 18)
+            report = sharded.run_open_loop(
+                trace, [0.05 * i for i in range(len(trace))], label="jsq"
+            )
+            return report.row(), list(sharded.routed_counts)
+
+        assert run_once() == run_once()
+
     def test_mismatched_router_rejected(self, shard_config, shard_rounds):
         with pytest.raises(ValueError):
             self._sharded(shard_config, shard_rounds, 2, router=make_router("modulo", 3))
@@ -374,3 +462,29 @@ class TestShardSweep:
             assert row["shards"] in (1, 2)
         assert result["shed_policy"] == "drop"
         assert result["mean_service_seconds"] > 0
+
+    def test_shard_sweep_jsq_reduces_hot_key_imbalance(self):
+        """`--router jsq` in the sweep: on a P1-only (single hot key) mix the
+        JSQ placement's ``max_shard_routed`` must sit well below hashing's
+        all-on-one-shard count at the same offered overload."""
+        from repro.analysis.experiments import run_shard_sweep
+
+        def max_routed(router_kind):
+            result = run_shard_sweep(
+                workloads=("inference",),
+                process="bursty",
+                shard_counts=(4,),
+                utilizations=(2.0,),
+                num_rounds=5,
+                num_requests=16,
+                max_queue_depth=0,
+                router_kind=router_kind,
+            )
+            (row,) = result["rows"]
+            assert row["conserved"] is True
+            return row["max_shard_routed"]
+
+        hashed = max_routed("consistent-hash")
+        jsq = max_routed("jsq")
+        assert hashed == 16  # every request on the one hot shard
+        assert jsq < hashed
