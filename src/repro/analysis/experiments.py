@@ -31,6 +31,8 @@ from repro.scenario import (
     AdmissionSpec,
     ArrivalSpec,
     AutoscalerSpec,
+    FaultSpec,
+    RemediationSpec,
     RunReport,
     ScenarioSpec,
     TierSpec,
@@ -1084,6 +1086,234 @@ def compare_autoscale_policies(rows: Sequence[Mapping]) -> list[dict]:
                     if reactive_cost
                     else float("inf")
                 ),
+            }
+        )
+    return comparisons
+
+
+# ---------------------------------------------------------------------------
+# Fault-recovery sweep — fault kind x remediation controller on/off
+# ---------------------------------------------------------------------------
+
+
+#: Canonical fault cells of the recovery sweep: one clause per fault kind,
+#: each paired with the base router whose remediation path it exercises.
+#: Crashes hit a JSQ tier, where routing follows live queue depth and
+#: re-added capacity genuinely absorbs load (under consistent hashing the
+#: hot keys rarely remap, so an extra shard is dead weight).  The storm and
+#: gray faults hit a consistent-hash tier, where the capacity-neutral
+#: reroute-to-JSQ actuation is live.
+FAULT_RECOVERY_CELLS: tuple[dict, ...] = (
+    {
+        "fault": "shard-crash",
+        "router": "jsq",
+        "clause": {"kind": "shard-crash", "onset_seconds": 30.0, "magnitude": 1.0},
+    },
+    {
+        "fault": "reclamation-storm",
+        "router": "consistent-hash",
+        "clause": {
+            "kind": "reclamation-storm",
+            "onset_seconds": 30.0,
+            "duration_seconds": 90.0,
+            "magnitude": 2.0,
+            "interval_seconds": 5.0,
+        },
+    },
+    {
+        "fault": "slow-shard",
+        "router": "consistent-hash",
+        "clause": {
+            "kind": "slow-shard",
+            "onset_seconds": 30.0,
+            "duration_seconds": 90.0,
+            "magnitude": 3.0,
+        },
+    },
+    {
+        "fault": "network-spike",
+        "router": "consistent-hash",
+        "clause": {
+            "kind": "network-spike",
+            "onset_seconds": 30.0,
+            "duration_seconds": 90.0,
+            "magnitude": 4.0,
+        },
+    },
+)
+
+
+def _fault_recovery_row(report: RunReport) -> dict:
+    """Project a faulted scenario run onto the recovery-sweep row schema.
+
+    Controller-off cells carry no remediation summary, so the remediation
+    counters default to zero here — every cell exposes the same columns.
+    """
+    spec = report.spec
+    row = {
+        "fault": spec.faults[0].kind if spec.faults else "none",
+        "router": spec.tier.router_kind,
+        "controller": spec.remediation.enabled,
+        "remediation_ticks": 0,
+        "anomalies_detected": 0,
+        "actions_taken": 0,
+        "shadow_accepts": 0,
+        "shadow_rejects": 0,
+        "shadow_runs": 0,
+    }
+    row.update(report.row())
+    return row
+
+
+#: The headline columns of a fault-recovery row, shared by the CLI table
+#: and the benchmark report so the two never drift.
+FAULT_RECOVERY_COLUMNS: tuple[str, ...] = (
+    "fault",
+    "controller",
+    "time_to_recovery_seconds",
+    "goodput_dip_area",
+    "recovered",
+    "p99_sojourn_seconds",
+    "goodput_rps",
+    "shed_rate",
+    "actions_taken",
+    "shadow_accepts",
+    "shadow_rejects",
+    "conserved",
+)
+
+
+def run_fault_recovery_sweep(
+    model_name: str = "efficientnet_v2_small",
+    workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
+    kinds: Sequence[str] | None = None,
+    num_rounds: int = 8,
+    num_requests: int = 96,
+    seed: int = 7,
+    utilization: float = 0.7,
+    shards: int = 3,
+    max_queue_depth: int = 8,
+    shed_policy: str = "drop",
+    control_interval: float = 5.0,
+    shadow_requests: int = 36,
+    slo_multiplier: float = 3.0,
+    workers: int | None = None,
+) -> dict:
+    """Fault-recovery sweep: fault kind x remediation controller on/off.
+
+    Every cell injects one canonical fault clause
+    (:data:`FAULT_RECOVERY_CELLS`) into a three-shard tier serving the same
+    deterministic Poisson trace at ``utilization`` x the service rate, and
+    runs it twice — once with the closed-loop remediation controller riding
+    the control ticks, once without.  Rows report the recovery story of each
+    cell: time-to-recovery (cumulative catch-up clock against the offered
+    rate), goodput dip area (windowed deficit integral), whether the tier
+    caught back up inside the horizon, tail latency, and the controller's
+    accounting (anomalies detected, shadow accepts/rejects, actions taken).
+    Conservation (``served + requeued + degraded + shed == offered``, with
+    requeued counted inside ``served``) is asserted inside every faulted
+    cell.  Cells are independent; ``workers > 1`` fans them out to worker
+    processes.
+    """
+    known = tuple(cell["fault"] for cell in FAULT_RECOVERY_CELLS)
+    if kinds is None:
+        kinds = known
+    unknown = sorted(set(kinds) - set(known))
+    if unknown:
+        # Fail before the calibration run and the worker fan-out, not deep
+        # inside a cell.
+        raise ValueError(f"unknown fault kinds {unknown}; expected {known}")
+    mean_service = calibrate_service_time(
+        model_name,
+        workloads=workloads,
+        num_rounds=num_rounds,
+        num_requests=num_requests,
+        seed=seed,
+    )
+    slo_seconds = slo_multiplier * mean_service if slo_multiplier else None
+    rows: list[dict] = []
+    for cell in FAULT_RECOVERY_CELLS:
+        if cell["fault"] not in kinds:
+            continue
+        base = ScenarioSpec(
+            name=f"fault-recovery-{cell['fault']}",
+            model=model_name,
+            seed=seed,
+            num_rounds=num_rounds,
+            workload=WorkloadMixSpec(workloads=tuple(workloads), num_requests=num_requests),
+            arrival=ArrivalSpec(kind="poisson", utilization=utilization),
+            tier=TierSpec(
+                shards=shards,
+                router_kind=cell["router"],
+                admission=AdmissionSpec(
+                    max_queue_depth=max_queue_depth, shed_policy=shed_policy
+                ),
+            ),
+            slo_multiplier=slo_multiplier,
+            mean_service_seconds=mean_service,
+            faults=(FaultSpec(**cell["clause"]),),
+            remediation=RemediationSpec(
+                enabled=False,
+                control_interval_seconds=control_interval,
+                shadow_requests=shadow_requests,
+            ),
+        )
+        rows.extend(
+            sweep(
+                base,
+                axes={"remediation.enabled": (True, False)},
+                workers=workers,
+                row_fn=_fault_recovery_row,
+            )
+        )
+    return {
+        "rows": rows,
+        "mean_service_seconds": mean_service,
+        "slo_seconds": slo_seconds,
+        "utilization": utilization,
+        "shards": shards,
+        "max_queue_depth": max_queue_depth,
+        "shed_policy": shed_policy,
+        "control_interval_seconds": control_interval,
+        "shadow_requests": shadow_requests,
+        "num_requests": num_requests,
+        "workloads": list(workloads),
+        "seed": seed,
+    }
+
+
+def compare_fault_recovery(rows: Sequence[Mapping]) -> list[dict]:
+    """Controller-on vs controller-off deltas per fault kind.
+
+    The comparison the sweep exists to make: for each injected fault, how
+    much time-to-recovery and goodput-dip area does closed-loop remediation
+    buy, and how many shadow-verified actions it took to buy it.
+    """
+    comparisons = []
+    by_fault: dict[str, dict[bool, Mapping]] = {}
+    for row in rows:
+        by_fault.setdefault(row["fault"], {})[bool(row["controller"])] = row
+    for fault in sorted(by_fault):
+        cell = by_fault[fault]
+        on, off = cell.get(True), cell.get(False)
+        if on is None or off is None:
+            continue
+        comparisons.append(
+            {
+                "fault": fault,
+                "ttr_controller": on["time_to_recovery_seconds"],
+                "ttr_baseline": off["time_to_recovery_seconds"],
+                "ttr_reduction_pct": percent_reduction(
+                    off["time_to_recovery_seconds"], on["time_to_recovery_seconds"]
+                ),
+                "dip_controller": on["goodput_dip_area"],
+                "dip_baseline": off["goodput_dip_area"],
+                "dip_reduction_pct": percent_reduction(
+                    off["goodput_dip_area"], on["goodput_dip_area"]
+                ),
+                "actions_taken": on["actions_taken"],
+                "shadow_accepts": on["shadow_accepts"],
+                "shadow_rejects": on["shadow_rejects"],
             }
         )
     return comparisons

@@ -9,6 +9,7 @@ Usage examples::
     python -m repro.cli run fig11 --workers 4        # explicit worker count
     python -m repro.cli run-load --workers 4         # open-loop load sweep, parallel cells
     python -m repro.cli run-shard-sweep --shards 1,2,4 --shed-policy drop
+    python -m repro.cli run-faults --kinds shard-crash,reclamation-storm
     python -m repro.cli run-scenario --list           # registered scenario specs
     python -m repro.cli run-scenario --name jsq-hotkey --set tier.shards=8
     python -m repro.cli run-scenario --spec examples/scenarios/sharded_burst.json \
@@ -32,6 +33,7 @@ from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
 from repro.config import SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
+from repro.engine.faults import FAULT_KINDS
 from repro.routing import ROUTER_KINDS
 from repro.scenario import (
     ScenarioSpec,
@@ -154,9 +156,27 @@ _SWEEP_FLAGS: dict[str, _SweepFlag] = {
         ),
         _SweepFlag(
             "--control-interval",
-            "tier.autoscaler.control_interval_seconds",
+            "control_interval_seconds",
             float,
-            "virtual-time spacing of autoscaler control ticks, in seconds",
+            "virtual-time spacing of control-loop ticks (autoscaler or remediation), in seconds",
+        ),
+        _SweepFlag(
+            "--kinds",
+            "faults[0].kind (axis)",
+            str,
+            f"comma-separated fault kinds to inject ({', '.join(FAULT_KINDS)})",
+        ),
+        _SweepFlag(
+            "--utilization",
+            "arrival.utilization",
+            float,
+            "offered utilization (multiple of the calibrated service rate)",
+        ),
+        _SweepFlag(
+            "--shadow-requests",
+            "remediation.shadow_requests",
+            int,
+            "trace length of each bounded shadow-verification run",
         ),
     )
 }
@@ -198,6 +218,19 @@ _SWEEP_COMMAND_FLAGS: dict[str, dict[str, Any]] = {
         "--start-shards": 1,
         "--control-interval": 5.0,
     },
+    "run-faults": {
+        "--rounds": 8,
+        "--requests": 96,
+        "--seed": 7,
+        "--model": "efficientnet_v2_small",
+        "--kinds": ",".join(FAULT_KINDS),
+        "--utilization": 0.7,
+        "--start-shards": 3,
+        "--max-queue-depth": 8,
+        "--shed-policy": "drop",
+        "--control-interval": 5.0,
+        "--shadow-requests": 36,
+    },
 }
 
 _SWEEP_COMMAND_HELP: dict[str, tuple[str, str]] = {
@@ -220,6 +253,14 @@ _SWEEP_COMMAND_HELP: dict[str, tuple[str, str]] = {
         "under each autoscaling policy (none, reactive, predictive) and print "
         "p99 sojourn, shed rate, SLO-violation rate, warm-capacity cost, and "
         "scale-event counts per cell, plus the predictive-vs-reactive deltas.",
+    ),
+    "run-faults": (
+        "fault-injection grid with the closed-loop remediation controller",
+        "Inject each canonical fault (shard crash, reclamation storm, slow "
+        "shard, network spike) into the serving tier twice — with and without "
+        "the shadow-verified remediation controller — and print time-to-"
+        "recovery, goodput dip area, tail latency, and the controller's "
+        "accept/reject accounting per cell, plus the on-vs-off deltas.",
     ),
 }
 
@@ -452,7 +493,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenario_command(args)
 
     tune_gc()
-    if args.command in ("run-load", "run-shard-sweep", "run-autoscale"):
+    if args.command in ("run-load", "run-shard-sweep", "run-autoscale", "run-faults"):
         workers = args.workers
         if workers is None and args.parallel:
             workers = os.cpu_count() or 1
@@ -488,6 +529,40 @@ def main(argv: list[str] | None = None) -> int:
             if comparisons:
                 extra_tables.append(
                     format_table(comparisons, title="Predictive vs reactive (same offered load)")
+                )
+        elif args.command == "run-faults":
+            title = "Fault-recovery sweep (fault kind x remediation controller)"
+            kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+            known = tuple(cell["fault"] for cell in E.FAULT_RECOVERY_CELLS)
+            unknown = sorted(set(kinds) - set(known))
+            if unknown:
+                print(
+                    f"error: unknown --kinds {','.join(unknown)}; "
+                    f"expected a comma list of {', '.join(known)}",
+                    file=sys.stderr,
+                )
+                return 2
+            result = E.run_fault_recovery_sweep(
+                model_name=args.model,
+                kinds=kinds,
+                num_rounds=args.rounds,
+                num_requests=args.requests,
+                seed=args.seed,
+                utilization=args.utilization,
+                shards=args.start_shards,
+                max_queue_depth=args.max_queue_depth,
+                shed_policy=args.shed_policy,
+                control_interval=args.control_interval,
+                shadow_requests=args.shadow_requests,
+                workers=workers,
+            )
+            columns = list(E.FAULT_RECOVERY_COLUMNS)
+            comparisons = E.compare_fault_recovery(result["rows"])
+            if comparisons:
+                extra_tables.append(
+                    format_table(
+                        comparisons, title="Controller on vs off (same fault, same capacity)"
+                    )
                 )
         elif args.command == "run-load":
             title = "Open-loop load sweep (engine)"

@@ -178,7 +178,9 @@ class FLStore:
 
         # --- optional fault injection (function reclamations) --------------
         if self.fault_injector is not None:
-            reclaimed = self.fault_injector.sample_reclamations(self.cluster.function_ids())
+            reclaimed = self.fault_injector.sample_reclamations(
+                self.cluster.function_ids(), now=self.clock.now()
+            )
             for function_id in reclaimed:
                 self.platform.reclaim_function(function_id)
             if reclaimed:

@@ -10,8 +10,14 @@ over N independent engine-backed shards on one shared event loop, and
 :mod:`repro.engine.autoscale` closes the control loop over it: policies
 sample queue-depth/arrival-rate signals on scheduled control ticks and
 spawn/retire warm capacity (per-function slots, whole shards) online.
-Open-loop arrival processes live in :mod:`repro.traces.arrivals`; key-to-
-shard placement lives in :mod:`repro.routing`.
+:mod:`repro.engine.faults` schedules typed fault clauses (shard crashes,
+reclamation storms, gray slowdowns, network spikes) as events on the same
+timeline, and :mod:`repro.engine.remediate` closes the repair loop: a
+controller that detects anomalies against EWMA baselines, proposes ranked
+actions, verifies the top one in a bounded shadow simulation, and actuates
+only on an accepted forecast.  Open-loop arrival processes live in
+:mod:`repro.traces.arrivals`; key-to-shard placement lives in
+:mod:`repro.routing`.
 """
 
 from repro.engine.autoscale import (
@@ -28,6 +34,14 @@ from repro.engine.autoscale import (
     ScaleEvent,
     make_autoscaler_policy,
 )
+from repro.engine.faults import (
+    FAULT_KINDS,
+    FaultClause,
+    FaultPlan,
+    FaultRecord,
+    RecoveryMetrics,
+    compute_recovery_metrics,
+)
 from repro.engine.flstore import (
     DISPOSITIONS,
     EngineFLStore,
@@ -38,10 +52,22 @@ from repro.engine.flstore import (
     serve_degraded,
 )
 from repro.engine.kernel import EventLoop, SimTask, Timeout
+from repro.engine.remediate import (
+    REMEDIATION_ACTIONS,
+    Anomaly,
+    Proposal,
+    RemediationConfig,
+    RemediationController,
+    RemediationRecord,
+    RemediationSummary,
+)
 from repro.engine.sharded import ShardedEngineFLStore, merge_depth_samples
 
 __all__ = [
     "AUTOSCALER_KINDS",
+    "FAULT_KINDS",
+    "REMEDIATION_ACTIONS",
+    "Anomaly",
     "AutoscaleConfig",
     "AutoscaleSummary",
     "Autoscaler",
@@ -51,17 +77,26 @@ __all__ = [
     "EngineFLStore",
     "EngineOutcome",
     "EventLoop",
+    "FaultClause",
+    "FaultPlan",
+    "FaultRecord",
     "LoadReport",
     "NullAutoscaler",
     "PredictiveAutoscaler",
+    "Proposal",
     "ReactiveThresholdAutoscaler",
+    "RecoveryMetrics",
+    "RemediationConfig",
+    "RemediationController",
+    "RemediationRecord",
+    "RemediationSummary",
     "ScaleDecision",
     "ScaleEvent",
     "ShardedEngineFLStore",
     "SimTask",
     "Timeout",
     "build_load_report",
-    "make_autoscaler_policy",
+    "compute_recovery_metrics",
     "merge_depth_samples",
     "rejection_result",
     "serve_degraded",

@@ -24,6 +24,7 @@ this for every registered workload.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -32,6 +33,7 @@ import numpy as np
 from repro.common.units import GB
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.kernel import EventLoop, SimTask, Timeout
+from repro.network.model import spike_cost, spike_latency
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.metrics import RequestRecord
 from repro.simulation.records import (
@@ -390,6 +392,16 @@ class EngineFLStore:
         self.shed_requests = 0
         self.degraded_requests = 0
         self.requeued_requests = 0
+        #: Gray-degradation lever (:mod:`repro.engine.faults`): executions on
+        #: this engine hold their slot ``multiplier`` times as long, but the
+        #: analytic latency/cost records are untouched — a slow shard looks
+        #: healthy in its own metrics and only sojourn times reveal it.
+        self.service_time_multiplier = 1.0
+        #: Transient network-spike lever: requests served while it is above
+        #: 1.0 have the communication components of their latency and cost
+        #: scaled (``repro.network.model.spike_latency`` / ``spike_cost``) —
+        #: unlike the gray multiplier, the surcharge is visible in records.
+        self.network_fault_multiplier = 1.0
         self._outstanding = 0
         self._waiting = 0
         self._depth_samples: list[tuple[float, int]] = []
@@ -486,7 +498,8 @@ class EngineFLStore:
         """A shed request served on the object-store bypass (no queue, no cache)."""
         arrived_at = self.loop.now
         result = serve_degraded(self.flstore, request)
-        service_seconds = result.latency.total_seconds
+        result = self._apply_network_fault(result)
+        service_seconds = result.latency.total_seconds * self.service_time_multiplier
         if service_seconds > 0:
             yield Timeout(service_seconds)
         outcome = EngineOutcome(
@@ -505,7 +518,7 @@ class EngineFLStore:
         """One request as a timed process: serve oracle, queue, execute, release."""
         arrived_at = self.loop.now
         disposition = "served"
-        result = self.flstore.serve(request)
+        result = self._apply_network_fault(self.flstore.serve(request))
         function_id = result.execution_function
         holds_slot = False
         if function_id is not None and self.platform.has_function(function_id):
@@ -527,7 +540,7 @@ class EngineFLStore:
                     self.requeued_requests += 1
                     self.platform.stats.requests_requeued += 1
         started_at = self.loop.now
-        service_seconds = result.latency.total_seconds
+        service_seconds = result.latency.total_seconds * self.service_time_multiplier
         if service_seconds > 0:
             yield Timeout(service_seconds)
         if holds_slot:
@@ -549,6 +562,16 @@ class EngineFLStore:
     def _note_queue_change(self, delta: int) -> None:
         self._waiting += delta
         self._depth_samples.append((self.loop.now, self._waiting))
+
+    def _apply_network_fault(self, result: ServeResult) -> ServeResult:
+        """Scale a result's communication latency/cost during a network spike."""
+        if self.network_fault_multiplier == 1.0:
+            return result
+        return dataclasses.replace(
+            result,
+            latency=spike_latency(result.latency, self.network_fault_multiplier),
+            cost=spike_cost(result.cost, self.network_fault_multiplier),
+        )
 
     # ------------------------------------------------------- capacity scaling
 
@@ -577,6 +600,33 @@ class EngineFLStore:
             # performs its own queue-depth decrement.
             token.resolve(True)
         return len(granted)
+
+    def force_reclaim(self, function_ids: Iterable[str]) -> list[str]:
+        """Reclaim the named warm functions *now* (a correlated fault burst).
+
+        The storm-injection actuator (:mod:`repro.engine.faults`): unlike the
+        sampled reclamation daemon, the caller decides exactly which
+        functions die.  Waiters queued on a reclaimed function resume without
+        a slot and are accounted as ``requeued`` — the same conservation
+        semantics as the daemon — and the cache drops the lost keys.
+        Returns the function ids actually reclaimed (cold ones are skipped).
+        """
+        reclaimed: list[str] = []
+        for function_id in function_ids:
+            if not self.platform.has_function(function_id):
+                continue
+            if not self.platform.get_function(function_id).is_warm:
+                continue
+            self.platform.reclaim_function(function_id)
+            self.reclamations += 1
+            reclaimed.append(function_id)
+            # Resuming a waiter (resolve) re-enters its process, which
+            # performs its own queue-depth decrement.
+            for token in self.platform.drain_waiters(function_id):
+                token.resolve(False)
+        if reclaimed:
+            self.flstore.engine.drop_lost_keys()
+        return reclaimed
 
     def retire(self) -> None:
         """Take this shard out of service: drain waiters, release warm capacity.
@@ -654,7 +704,7 @@ class EngineFLStore:
 
         def _reclaim() -> None:
             reclaimed = self.fault_injector.sample_reclamations(
-                self.flstore.cluster.function_ids()
+                self.flstore.cluster.function_ids(), now=self.loop.now
             )
             for function_id in reclaimed:
                 self.platform.reclaim_function(function_id)
@@ -696,6 +746,7 @@ class EngineFLStore:
         label: str = "open-loop",
         keepalive: bool = False,
         slo_seconds: float | None = None,
+        fault_plan=None,
     ) -> LoadReport:
         """Serve ``requests`` at the given arrival times; report load metrics.
 
@@ -708,7 +759,9 @@ class EngineFLStore:
         reclamation events.  ``slo_seconds`` (optional) sets the sojourn-time
         SLO the report's ``violation_rate`` is measured against.  Per-run
         counters (queue-depth samples, keep-alive pings, reclamations, shed
-        accounting) are reported per run, not engine-lifetime.
+        accounting) are reported per run, not engine-lifetime.  A
+        ``fault_plan`` (:class:`repro.engine.faults.FaultPlan`) schedules its
+        fault clauses as events on the same virtual timeline.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
@@ -724,6 +777,8 @@ class EngineFLStore:
         if keepalive:
             self.schedule_keepalive()
         self.schedule_reclamations()
+        if fault_plan is not None:
+            fault_plan.start()
         self.loop.run()
         outcomes = self._completed[start_count:]
         return build_load_report(

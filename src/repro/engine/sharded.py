@@ -41,6 +41,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro.common.errors import ConfigurationError
+from repro.config import SHED_POLICIES
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.flstore import (
     EngineFLStore,
@@ -386,13 +388,61 @@ class ShardedEngineFLStore:
         later :meth:`add_shard`.
         """
         if len(self._active) <= 1:
-            raise ValueError("cannot retire the last active shard")
+            # ConfigurationError, not ValueError: retiring (or crashing) the
+            # last shard would leave the hash ring empty — a structurally
+            # unservable tier, the same class of error as building one.
+            raise ConfigurationError(
+                "cannot retire the last active shard: the tier would have an "
+                "empty routing ring and every subsequent arrival would be lost"
+            )
         index = self._active.pop()
         self.router = self.router.resized(len(self._active))
         self._bind_router()
         self.shards[index].retire()
         self._retired.append(index)
         return index
+
+    def crash_shard(self) -> int:
+        """A whole-shard failure: the front door loses a shard mid-run.
+
+        Fault-injection entry point (:mod:`repro.engine.faults`).  The
+        failure semantics are those of :meth:`remove_shard` — the ring
+        rebuilds without the shard, its waiters drain as ``requeued`` (so
+        conservation holds through the crash), its warm capacity is gone —
+        but the *intent* differs: nothing scheduled this capacity away, so a
+        remediation controller may legitimately re-add it.  Crashing the
+        last active shard raises :class:`ConfigurationError`.
+        """
+        return self.remove_shard()
+
+    def set_shed_policy(self, policy: str) -> None:
+        """Switch the admission-control shedding policy tier-wide, online.
+
+        A remediation actuator: flipping ``drop`` to ``degrade-to-objstore``
+        trades rejections for slow degraded serves while the tier recovers.
+        Applies to every shard (retired ones included, so a re-activated
+        shard rejoins with the tier's current policy) and to shards added
+        later.
+        """
+        if policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed policy {policy!r}; expected one of {SHED_POLICIES}"
+            )
+        self._shed_policy = policy
+        for shard in self.shards:
+            shard.shed_policy = policy
+
+    def set_router_kind(self, kind: str) -> None:
+        """Rebuild the front door's router as ``kind`` over the active shards.
+
+        A remediation actuator: rerouting via ``jsq`` spreads arrivals away
+        from backed-up shards by live queue depth.  The new router covers
+        the current active set and is immediately (re)bound to the tier's
+        load probe; routing changes only affect arrivals from now on
+        (route-at-arrival).
+        """
+        self.router = make_router(kind, len(self._active))
+        self._bind_router()
 
     def set_function_concurrency(self, limit: int) -> int:
         """Scale per-function slots on every active shard (and future shards).
@@ -424,6 +474,8 @@ class ShardedEngineFLStore:
         keepalive: bool = False,
         slo_seconds: float | None = None,
         autoscaler=None,
+        fault_plan=None,
+        remediation=None,
     ) -> LoadReport:
         """Serve ``requests`` open-loop across the tier; report fleet metrics.
 
@@ -433,7 +485,11 @@ class ShardedEngineFLStore:
         queue-depth profiles merged across shards (including shards added or
         retired mid-run).  An ``autoscaler``
         (:class:`repro.engine.autoscale.Autoscaler`) runs its control loop
-        as scheduled events on the same virtual timeline.
+        as scheduled events on the same virtual timeline; a ``fault_plan``
+        (:class:`repro.engine.faults.FaultPlan`) schedules its fault clauses
+        the same way, and a ``remediation`` controller
+        (:class:`repro.engine.remediate.RemediationController`) ticks
+        alongside, detecting and repairing what the faults break.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
@@ -455,9 +511,15 @@ class ShardedEngineFLStore:
             self.shards[index].schedule_reclamations()
         if autoscaler is not None:
             autoscaler.start()
+        if fault_plan is not None:
+            fault_plan.start()
+        if remediation is not None:
+            remediation.start()
         self.loop.run()
         if autoscaler is not None:
             autoscaler.finalize()
+        if remediation is not None:
+            remediation.finalize()
         self._keepalive_active = False
         outcomes = self._completed[start_count:]
         return build_load_report(

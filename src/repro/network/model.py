@@ -48,6 +48,22 @@ class NetworkLink:
         serialization = (request_bytes + response_bytes) / (self.bandwidth_mb_per_s * MB)
         return self.rtt_seconds + serialization
 
+    def degraded(self, multiplier: float) -> "NetworkLink":
+        """This link under a transient network fault.
+
+        A spike of ``multiplier`` stretches the round-trip time by the
+        multiplier and divides the effective bandwidth by it, so every
+        transfer over the degraded link takes ``multiplier`` times as long —
+        the semantics :func:`spike_latency` applies at the request boundary.
+        """
+        if multiplier <= 0:
+            raise ConfigurationError(f"link {self.name}: spike multiplier must be positive")
+        return NetworkLink(
+            self.name,
+            self.rtt_seconds * multiplier,
+            self.bandwidth_mb_per_s / multiplier,
+        )
+
 
 class NetworkTopology:
     """The set of named links used by the FLStore and baseline architectures."""
@@ -110,3 +126,50 @@ class NetworkTopology:
     def link_names(self) -> list[str]:
         """Names of every configured link."""
         return sorted(self._links)
+
+
+# ---------------------------------------------------------------------------
+# Transient network spikes
+# ---------------------------------------------------------------------------
+#
+# A network-cost spike multiplies every link's effective latency and dollar
+# rate for a window of virtual time.  The cloud-service substrates memoize
+# per-size transfer effects against the links captured at construction, so a
+# spike is applied at the *request boundary* instead of by mutating links
+# mid-run: the serving engine scales the communication components of each
+# affected request's latency/cost breakdown with the helpers below — exactly
+# the effect serving every transfer over ``link.degraded(multiplier)`` would
+# have had, without invalidating the memoized fast path.
+
+
+def spike_latency(latency, multiplier: float):
+    """``latency`` with its communication component under a network spike.
+
+    Computation, queueing, and cold-start components are untouched: a
+    network fault slows the wire, not the CPU.
+    """
+    if multiplier <= 0:
+        raise ConfigurationError("spike multiplier must be positive")
+    return type(latency)(
+        communication_seconds=latency.communication_seconds * multiplier,
+        computation_seconds=latency.computation_seconds,
+        queueing_seconds=latency.queueing_seconds,
+        cold_start_seconds=latency.cold_start_seconds,
+    )
+
+
+def spike_cost(cost, multiplier: float):
+    """``cost`` with its data-movement components under a network spike.
+
+    Transfer and per-request charges scale (retransmits, cross-zone
+    surcharges); compute, storage, and provisioned components do not.
+    """
+    if multiplier <= 0:
+        raise ConfigurationError("spike multiplier must be positive")
+    return type(cost)(
+        transfer_dollars=cost.transfer_dollars * multiplier,
+        request_dollars=cost.request_dollars * multiplier,
+        compute_dollars=cost.compute_dollars,
+        storage_dollars=cost.storage_dollars,
+        provisioned_dollars=cost.provisioned_dollars,
+    )

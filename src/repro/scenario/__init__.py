@@ -38,6 +38,8 @@ from repro.scenario.spec import (
     AdmissionSpec,
     ArrivalSpec,
     AutoscalerSpec,
+    FaultSpec,
+    RemediationSpec,
     ScenarioSpec,
     ScenarioValidationError,
     TierSpec,
@@ -53,6 +55,8 @@ __all__ = [
     "AdmissionSpec",
     "ArrivalSpec",
     "AutoscalerSpec",
+    "FaultSpec",
+    "RemediationSpec",
     "RunReport",
     "ScenarioSpec",
     "ScenarioValidationError",

@@ -31,7 +31,18 @@ from repro.engine.autoscale import (
     AutoscaleSummary,
     make_autoscaler_policy,
 )
+from repro.engine.faults import (
+    FaultClause,
+    FaultPlan,
+    RecoveryMetrics,
+    compute_recovery_metrics,
+)
 from repro.engine.flstore import EngineFLStore, LoadReport
+from repro.engine.remediate import (
+    RemediationConfig,
+    RemediationController,
+    RemediationSummary,
+)
 from repro.engine.sharded import ShardedEngineFLStore
 from repro.routing import make_router
 from repro.scenario.spec import ScenarioSpec
@@ -136,6 +147,10 @@ class Tier:
     generator: object
     #: The calibrated (or pinned) mean service time backing rate/SLO math.
     mean_service_seconds: float
+    #: Scheduled fault clauses, or ``None`` when the spec is healthy.
+    fault_plan: FaultPlan | None = None
+    #: The remediation control loop, or ``None`` when the spec disables it.
+    remediation: RemediationController | None = None
 
     @property
     def sharded(self) -> bool:
@@ -153,6 +168,12 @@ def build_tier(spec: ScenarioSpec) -> Tier:
     * autoscaled topology: the sharded tier made resizable (shard factory +
       warm-round replay) with an :class:`Autoscaler` attached — ``run``
       starts the control loop on the shared virtual timeline.
+
+    A sharded tier with fault clauses or remediation enabled is also built
+    resizable: a ``shard-crash`` retires a live shard and the controller's
+    ``add-shard`` actuation re-provisions one, both of which need the shard
+    factory.  Resizability alone changes no behavior — an untouched
+    resizable tier runs byte-identical to a fixed one.
     """
     config = scenario_config(spec)
     mean_service = calibrate(spec)
@@ -162,26 +183,56 @@ def build_tier(spec: ScenarioSpec) -> Tier:
     ]
     generator = setups[0].generator
     autoscaler = None
+    resizable = spec.tier.autoscaler.enabled or bool(spec.faults) or spec.remediation.enabled
     if not spec.tier.sharded:
         store = EngineFLStore(setups[0].flstore)
-    elif spec.tier.autoscaler.enabled:
+    elif resizable:
         store = ShardedEngineFLStore(
             [setup.flstore for setup in setups],
             router=make_router(spec.tier.router_kind, spec.tier.shards),
             shard_factory=lambda: build_default_flstore(config),
             warm_rounds=setups[0].rounds,
         )
-        autoscale_config = AutoscaleConfig(
-            control_interval_seconds=spec.tier.autoscaler.control_interval_seconds
-        )
-        policy = make_autoscaler_policy(
-            spec.tier.autoscaler.policy, autoscale_config, mean_service_seconds=mean_service
-        )
-        autoscaler = Autoscaler(store, policy, autoscale_config)
+        if spec.tier.autoscaler.enabled:
+            autoscale_config = AutoscaleConfig(
+                control_interval_seconds=spec.tier.autoscaler.control_interval_seconds
+            )
+            policy = make_autoscaler_policy(
+                spec.tier.autoscaler.policy, autoscale_config, mean_service_seconds=mean_service
+            )
+            autoscaler = Autoscaler(store, policy, autoscale_config)
     else:
         store = ShardedEngineFLStore(
             [setup.flstore for setup in setups],
             router=make_router(spec.tier.router_kind, spec.tier.shards),
+        )
+    fault_plan = None
+    if spec.faults:
+        clauses = [
+            FaultClause(
+                kind=clause.kind,
+                onset_seconds=clause.onset_seconds,
+                duration_seconds=clause.duration_seconds,
+                magnitude=clause.magnitude,
+                interval_seconds=clause.interval_seconds,
+                zipf_exponent=clause.zipf_exponent,
+            )
+            for clause in spec.faults
+        ]
+        fault_plan = FaultPlan(store, clauses, seed=spec.seed)
+    remediation = None
+    if spec.remediation.enabled:
+        remediation = RemediationController(
+            store,
+            config=RemediationConfig(
+                control_interval_seconds=spec.remediation.control_interval_seconds,
+                cooldown_seconds=spec.remediation.cooldown_seconds,
+                max_actions=spec.remediation.max_actions,
+            ),
+            slo_seconds=spec.slo_multiplier * mean_service if spec.slo_multiplier else None,
+            nominal_shards=spec.tier.shards,
+            nominal_slots=spec.tier.function_concurrency,
+            shadow_runner=make_shadow_runner(spec, mean_service),
         )
     return Tier(
         spec=spec,
@@ -190,7 +241,66 @@ def build_tier(spec: ScenarioSpec) -> Tier:
         autoscaler=autoscaler,
         generator=generator,
         mean_service_seconds=mean_service,
+        fault_plan=fault_plan,
+        remediation=remediation,
     )
+
+
+def make_shadow_runner(spec: ScenarioSpec, mean_service: float):
+    """The bounded shadow simulation backing remediation verification.
+
+    Returns ``callable(action, state) -> forecast`` for a
+    :class:`~repro.engine.remediate.RemediationController`.  ``state`` is
+    the tier's current degraded shape; the runner shrinks the scenario to
+    the spec's shadow budget (``remediation.shadow_rounds`` x
+    ``shadow_requests``), strips faults and control loops (so the shadow
+    cannot recurse or re-fault), pins the calibration, and runs the
+    degraded shape with and without the candidate action applied — same
+    seed, so the arrival process replays the true arrival prefix.
+    """
+    base_overrides = {
+        "faults": [],
+        "remediation.enabled": False,
+        "tier.autoscaler.enabled": False,
+        "num_rounds": min(spec.num_rounds, spec.remediation.shadow_rounds),
+        "workload.num_requests": min(
+            spec.workload.num_requests, spec.remediation.shadow_requests
+        ),
+        "mean_service_seconds": mean_service,
+    }
+
+    def state_overrides(state: dict) -> dict:
+        return {
+            "tier.shards": state["shards"],
+            "tier.function_concurrency": state["slots"],
+            "tier.router_kind": state["router_kind"],
+            "tier.admission.shed_policy": state["shed_policy"],
+        }
+
+    def shadow_runner(action: str, state: dict) -> dict:
+        candidate = dict(state)
+        if action == "add-shard":
+            candidate["shards"] = state["shards"] + 1
+        elif action == "promote-slots":
+            candidate["slots"] = state["slots"] + 1
+        elif action == "reroute-jsq":
+            candidate["router_kind"] = "jsq"
+        elif action == "shed-degrade":
+            candidate["shed_policy"] = "degrade-to-objstore"
+        baseline_spec = spec.with_overrides({**base_overrides, **state_overrides(state)})
+        candidate_spec = spec.with_overrides(
+            {**base_overrides, **state_overrides(candidate)}
+        )
+        baseline = run(baseline_spec)
+        forecast = run(candidate_spec)
+        return {
+            "p99_baseline": baseline.load.p99_sojourn_seconds,
+            "p99_candidate": forecast.load.p99_sojourn_seconds,
+            "goodput_baseline": baseline.load.goodput_rps,
+            "goodput_candidate": forecast.load.goodput_rps,
+        }
+
+    return shadow_runner
 
 
 @dataclass
@@ -218,6 +328,12 @@ class RunReport:
     #: the hot-key imbalance measure the router comparison reads.
     max_shard_routed: int | None = None
     autoscale: AutoscaleSummary | None = None
+    #: Fault accounting (``FaultPlan.summary()``), faulted runs only.
+    faults: dict | None = None
+    #: Remediation accounting, remediated runs only.
+    remediation: RemediationSummary | None = None
+    #: Windowed goodput analysis around the first fault onset, faulted runs only.
+    recovery: RecoveryMetrics | None = None
 
     def row(self) -> dict:
         """One flat result row (tables, CSV/JSON export, sweep grids)."""
@@ -239,6 +355,13 @@ class RunReport:
             row.update(
                 {k: v for k, v in self.autoscale.row().items() if k != "autoscaler"}
             )
+        if self.faults is not None:
+            row["fault_clauses"] = self.faults["fault_clauses"]
+            row["fault_events"] = self.faults["fault_events"]
+        if self.recovery is not None:
+            row.update(self.recovery.row())
+        if self.remediation is not None:
+            row.update(self.remediation.row())
         return row
 
 
@@ -262,6 +385,11 @@ def run(spec: ScenarioSpec) -> RunReport:
         rate = spec.arrival.utilization / mean_service
     trace = tier.generator.mixed_trace(list(spec.workload.workloads), spec.workload.num_requests)
     arrivals = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed).times(len(trace))
+    extras: dict = {}
+    if tier.fault_plan is not None:
+        extras["fault_plan"] = tier.fault_plan
+    if tier.remediation is not None:
+        extras["remediation"] = tier.remediation
     if tier.autoscaler is not None:
         label = f"{spec.arrival.kind}/{spec.tier.autoscaler.policy}"
         report = tier.store.run_open_loop(
@@ -271,10 +399,16 @@ def run(spec: ScenarioSpec) -> RunReport:
             keepalive=True,
             slo_seconds=slo_seconds,
             autoscaler=tier.autoscaler,
+            **extras,
         )
     else:
         report = tier.store.run_open_loop(
-            trace, arrivals, label=spec.arrival.kind, keepalive=True, slo_seconds=slo_seconds
+            trace,
+            arrivals,
+            label=spec.arrival.kind,
+            keepalive=True,
+            slo_seconds=slo_seconds,
+            **extras,
         )
     if not report.conserved:
         raise RuntimeError(
@@ -293,6 +427,15 @@ def run(spec: ScenarioSpec) -> RunReport:
         cached_bytes = store.flstore.cached_bytes
         live_keys = store.flstore.cluster.live_key_count
         warm_functions = store.flstore.warm_function_count
+    recovery = None
+    if tier.fault_plan is not None and tier.fault_plan.first_onset_seconds is not None:
+        recovery = compute_recovery_metrics(
+            report.outcomes,
+            onset_seconds=tier.fault_plan.first_onset_seconds,
+            end_seconds=float(max(arrivals)) if len(arrivals) else 0.0,
+            window_seconds=spec.remediation.control_interval_seconds,
+            baseline_goodput_rps=rate,
+        )
     return RunReport(
         spec=spec,
         load=report,
@@ -305,4 +448,7 @@ def run(spec: ScenarioSpec) -> RunReport:
         warm_functions=warm_functions,
         max_shard_routed=max_shard_routed,
         autoscale=tier.autoscaler.summary() if tier.autoscaler is not None else None,
+        faults=tier.fault_plan.summary() if tier.fault_plan is not None else None,
+        remediation=tier.remediation.summary() if tier.remediation is not None else None,
+        recovery=recovery,
     )

@@ -19,6 +19,8 @@ from repro.scenario.spec import (
     AdmissionSpec,
     ArrivalSpec,
     AutoscalerSpec,
+    FaultSpec,
+    RemediationSpec,
     ScenarioSpec,
     TierSpec,
     WorkloadMixSpec,
@@ -126,6 +128,25 @@ for _spec in (
             router_kind="consistent-hash",
             function_concurrency=2,
             queue_discipline="priority",
+        ),
+    ),
+    # Fault injection with the closed-loop repair: a three-shard JSQ tier
+    # (load-balanced, so capacity genuinely matters) loses a shard mid-run;
+    # the remediation controller detects the capacity loss, shadow-verifies
+    # re-adding it, and actuates.
+    ScenarioSpec(
+        name="fault-recovery",
+        num_rounds=8,
+        workload=WorkloadMixSpec(num_requests=96),
+        arrival=ArrivalSpec(kind="poisson", utilization=0.7),
+        tier=TierSpec(
+            shards=3,
+            router_kind="jsq",
+            admission=AdmissionSpec(max_queue_depth=8, shed_policy="drop"),
+        ),
+        faults=(FaultSpec(kind="shard-crash", onset_seconds=30.0, magnitude=1.0),),
+        remediation=RemediationSpec(
+            enabled=True, control_interval_seconds=5.0, shadow_requests=36
         ),
     ),
 ):

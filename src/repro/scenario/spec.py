@@ -35,6 +35,7 @@ from typing import Any, Mapping, Sequence
 from repro.common.errors import ConfigurationError
 from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
+from repro.engine.faults import FAULT_KINDS
 from repro.fl.models import MODEL_ZOO
 from repro.routing import ROUTER_KINDS
 from repro.traces.arrivals import ARRIVAL_KINDS
@@ -184,6 +185,69 @@ class AutoscalerSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault clause injected into the run's virtual timeline.
+
+    The four kinds exercise different layers of the tier:
+
+    * ``shard-crash`` — the front door loses ``magnitude`` shards at onset
+      (their waiters drain as ``requeued``); instantaneous, no duration.
+    * ``reclamation-storm`` — every ``interval_seconds`` within the window,
+      each shard force-reclaims a Zipf-sized set of warm functions.
+    * ``slow-shard`` — one shard's service times are multiplied by
+      ``magnitude`` for the window (gray degradation: nothing errors).
+    * ``network-spike`` — every shard's communication latency/cost is
+      multiplied by ``magnitude`` for the window.
+    """
+
+    kind: str = "shard-crash"
+    onset_seconds: float = 0.0
+    duration_seconds: float = 0.0
+    magnitude: float = 1.0
+    interval_seconds: float = 5.0
+    zipf_exponent: float = 2.5
+
+    def __post_init__(self) -> None:
+        _check_choice(self, "kind", FAULT_KINDS)
+        _coerce_float(self, "onset_seconds", minimum=0.0)
+        _coerce_float(self, "duration_seconds", minimum=0.0)
+        _coerce_float(self, "magnitude", minimum=0.0, exclusive=True)
+        _coerce_float(self, "interval_seconds", minimum=0.0, exclusive=True)
+        _coerce_float(self, "zipf_exponent", minimum=1.0, exclusive=True)
+        if self.kind in ("reclamation-storm", "slow-shard", "network-spike"):
+            if self.duration_seconds <= 0:
+                _fail(f"FaultSpec.duration_seconds must be > 0 for a {self.kind} fault")
+
+
+@dataclass(frozen=True)
+class RemediationSpec:
+    """Whether (and how) the remediation controller guards the tier.
+
+    ``enabled=True`` attaches a :class:`repro.engine.remediate.
+    RemediationController` riding control ticks alongside the run; its
+    shadow verification replays a ``shadow_rounds`` x ``shadow_requests``
+    bounded fork of the scenario per candidate action.
+    """
+
+    enabled: bool = False
+    control_interval_seconds: float = 5.0
+    cooldown_seconds: float = 15.0
+    max_actions: int = 4
+    #: Scale of the bounded shadow simulation used to verify proposals.
+    shadow_rounds: int = 4
+    shadow_requests: int = 24
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.enabled, bool):
+            _fail(f"RemediationSpec.enabled must be a boolean, got {self.enabled!r}")
+        _coerce_float(self, "control_interval_seconds", minimum=0.0, exclusive=True)
+        _coerce_float(self, "cooldown_seconds", minimum=0.0)
+        _coerce_int(self, "max_actions", minimum=0)
+        _coerce_int(self, "shadow_rounds", minimum=1)
+        _coerce_int(self, "shadow_requests", minimum=1)
+
+
+@dataclass(frozen=True)
 class TierSpec:
     """The serving topology the spec builds.
 
@@ -247,6 +311,10 @@ class ScenarioSpec:
     workload: WorkloadMixSpec = field(default_factory=WorkloadMixSpec)
     arrival: ArrivalSpec = field(default_factory=ArrivalSpec)
     tier: TierSpec = field(default_factory=TierSpec)
+    #: Fault clauses scheduled on the run's virtual timeline (empty = healthy).
+    faults: tuple[FaultSpec, ...] = ()
+    #: The closed-loop remediation controller guarding the tier.
+    remediation: RemediationSpec = field(default_factory=RemediationSpec)
     #: Sojourn-time SLO as a multiple of the calibrated mean service time;
     #: 0 disables the SLO (no violation accounting).
     slo_multiplier: float = 3.0
@@ -275,6 +343,40 @@ class ScenarioSpec:
         _coerce_float(self, "slo_multiplier", minimum=0.0)
         if self.mean_service_seconds is not None:
             _coerce_float(self, "mean_service_seconds", minimum=0.0, exclusive=True)
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for index, clause in enumerate(self.faults):
+            if not isinstance(clause, FaultSpec):
+                _fail(f"ScenarioSpec.faults[{index}] must be a FaultSpec, got {clause!r}")
+            if clause.kind == "shard-crash":
+                if not self.tier.sharded or self.tier.shards < 2:
+                    _fail(
+                        "a shard-crash fault needs a sharded tier with at least 2 "
+                        "shards (the last shard can never be crashed); set "
+                        "tier.router_kind and tier.shards >= 2"
+                    )
+                if int(clause.magnitude) > self.tier.shards - 1:
+                    _fail(
+                        f"a shard-crash of magnitude {clause.magnitude:g} on a "
+                        f"{self.tier.shards}-shard tier would crash the last "
+                        "shard; at least one shard must survive"
+                    )
+        if not isinstance(self.remediation, RemediationSpec):
+            _fail(
+                f"ScenarioSpec.remediation must be a RemediationSpec, "
+                f"got {self.remediation!r}"
+            )
+        if self.remediation.enabled:
+            if not self.tier.sharded:
+                _fail(
+                    "a remediated tier must be sharded (the controller actuates "
+                    f"the routing front door); set tier.router_kind (one of {ROUTER_KINDS})"
+                )
+            if self.tier.autoscaler.enabled:
+                _fail(
+                    "remediation and autoscaling cannot both drive the tier: "
+                    "two control loops actuating the same shard ring would fight; "
+                    "disable tier.autoscaler or remediation"
+                )
 
     # ------------------------------------------------------------- dict form
 
@@ -311,6 +413,25 @@ class ScenarioSpec:
                     "control_interval_seconds": self.tier.autoscaler.control_interval_seconds,
                 },
             },
+            "faults": [
+                {
+                    "kind": clause.kind,
+                    "onset_seconds": clause.onset_seconds,
+                    "duration_seconds": clause.duration_seconds,
+                    "magnitude": clause.magnitude,
+                    "interval_seconds": clause.interval_seconds,
+                    "zipf_exponent": clause.zipf_exponent,
+                }
+                for clause in self.faults
+            ],
+            "remediation": {
+                "enabled": self.remediation.enabled,
+                "control_interval_seconds": self.remediation.control_interval_seconds,
+                "cooldown_seconds": self.remediation.cooldown_seconds,
+                "max_actions": self.remediation.max_actions,
+                "shadow_rounds": self.remediation.shadow_rounds,
+                "shadow_requests": self.remediation.shadow_requests,
+            },
         }
 
     @classmethod
@@ -334,8 +455,25 @@ class ScenarioSpec:
             tier_tree.pop("autoscaler", {}), AutoscalerSpec, "tier.autoscaler"
         )
         tier = _build_section(tier_tree, TierSpec, "tier", admission=admission, autoscaler=autoscaler)
+        faults_tree = tree.pop("faults", [])
+        if isinstance(faults_tree, Mapping) or not isinstance(faults_tree, Sequence):
+            _fail(f"faults must be an array of tables/objects, got {faults_tree!r}")
+        faults = tuple(
+            _build_section(clause, FaultSpec, f"faults[{index}]")
+            for index, clause in enumerate(faults_tree)
+        )
+        remediation = _build_section(
+            tree.pop("remediation", {}), RemediationSpec, "remediation"
+        )
         return _build_section(
-            tree, cls, "scenario", workload=workload, arrival=arrival, tier=tier
+            tree,
+            cls,
+            "scenario",
+            workload=workload,
+            arrival=arrival,
+            tier=tier,
+            faults=faults,
+            remediation=remediation,
         )
 
     def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
@@ -525,14 +663,33 @@ def _toml_scalar(value: Any) -> str:
 
 def _dump_toml(tree: Mapping[str, Any], prefix: str = "") -> str:
     """Emit the spec's nested-dict form as TOML; ``None`` values are omitted
-    (TOML has no null — ``from_dict`` restores the field's default)."""
+    (TOML has no null — ``from_dict`` restores the field's default).
+
+    Lists of tables (the ``faults`` clause list) emit as TOML
+    arrays-of-tables (``[[faults]]`` per element); an empty list is dropped
+    entirely, since ``from_dict`` defaults it and TOML's ``key = []`` form
+    could not be reopened as a table array anyway.
+    """
     scalars = []
     tables = []
+    table_arrays = []
     for key, value in tree.items():
         if value is None:
             continue
         if isinstance(value, Mapping):
             tables.append((key, value))
+        elif (
+            isinstance(value, Sequence)
+            and not isinstance(value, str)
+            and any(isinstance(item, Mapping) for item in value)
+        ):
+            if not all(isinstance(item, Mapping) for item in value):
+                raise ScenarioValidationError(
+                    f"cannot express mixed table/scalar array {key!r} in TOML"
+                )
+            table_arrays.append((key, value))
+        elif isinstance(value, Sequence) and not isinstance(value, str) and not value:
+            continue
         else:
             scalars.append(f"{key} = {_toml_scalar(value)}")
     chunks = []
@@ -544,4 +701,17 @@ def _dump_toml(tree: Mapping[str, Any], prefix: str = "") -> str:
         child = _dump_toml(value, prefix=child_prefix)
         if child:
             chunks.append(child)
+    for key, items in table_arrays:
+        child_prefix = f"{prefix}.{key}" if prefix else key
+        for item in items:
+            lines = [f"[[{child_prefix}]]"]
+            for item_key, item_value in item.items():
+                if item_value is None:
+                    continue
+                if isinstance(item_value, Mapping):
+                    raise ScenarioValidationError(
+                        f"cannot express nested table inside array {key!r} in TOML"
+                    )
+                lines.append(f"{item_key} = {_toml_scalar(item_value)}")
+            chunks.append("\n".join(lines) + "\n")
     return "\n".join(chunks)

@@ -18,10 +18,17 @@ from repro.common.rng import derive_rng
 
 @dataclass
 class FaultEvent:
-    """One injected reclamation."""
+    """One injected reclamation.
+
+    ``time_seconds`` is the simulation time at which the reclamation was
+    sampled — the analytic clock on the closed-loop path, the event loop's
+    virtual time on the engine path — so fault traces can be lined up
+    against arrival/completion timelines, not just request ordinals.
+    """
 
     request_index: int
     function_id: str
+    time_seconds: float = 0.0
 
 
 class ZipfianFaultInjector:
@@ -38,25 +45,40 @@ class ZipfianFaultInjector:
         ``a``); must be > 1.
     seed:
         Master seed; the injector derives an independent stream.
+    stream:
+        Label of the derived RNG stream.  The default keeps the historical
+        single-injector stream; multi-clause fault plans
+        (:mod:`repro.engine.faults`) pass ``f"fault-{kind}-{i}"`` so every
+        clause draws from an independently seeded, reproducible stream.
     """
 
-    def __init__(self, fault_rate: float = 0.05, zipf_exponent: float = 2.5, seed: int = 7) -> None:
+    def __init__(
+        self,
+        fault_rate: float = 0.05,
+        zipf_exponent: float = 2.5,
+        seed: int = 7,
+        stream: str = "fault-injector",
+    ) -> None:
         if not 0.0 <= fault_rate <= 1.0:
             raise ValueError("fault_rate must be in [0, 1]")
         if zipf_exponent <= 1.0:
             raise ValueError("zipf_exponent must be > 1")
         self.fault_rate = fault_rate
         self.zipf_exponent = zipf_exponent
-        self._rng = derive_rng(seed, "fault-injector")
+        self.stream = stream
+        self._rng = derive_rng(seed, stream)
         self.events: list[FaultEvent] = []
         self._request_index = 0
 
-    def sample_reclamations(self, candidate_function_ids: list[str]) -> list[str]:
+    def sample_reclamations(
+        self, candidate_function_ids: list[str], now: float = 0.0
+    ) -> list[str]:
         """Return the function ids reclaimed before the next request.
 
         The number of reclaimed functions in a faulty step is Zipf-distributed
         (capped at the number of candidates); which functions are reclaimed is
-        uniform over the candidates.
+        uniform over the candidates.  ``now`` is the simulation time stamped
+        onto the recorded :class:`FaultEvent` rows.
         """
         self._request_index += 1
         if not candidate_function_ids or self.fault_rate == 0.0:
@@ -68,7 +90,7 @@ class ZipfianFaultInjector:
         chosen = self._rng.choice(candidate_function_ids, size=count, replace=False)
         reclaimed = [str(function_id) for function_id in np.atleast_1d(chosen)]
         for function_id in reclaimed:
-            self.events.append(FaultEvent(self._request_index, function_id))
+            self.events.append(FaultEvent(self._request_index, function_id, now))
         return reclaimed
 
     @property

@@ -272,7 +272,7 @@ class TestOnlineResize:
 
     def test_remove_shard_is_lifo_and_guards_last(self, scale_config, scale_rounds):
         tier = _built_tier(scale_config, scale_rounds)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             tier.remove_shard()
         added = tier.add_shard()
         assert tier.remove_shard() == added

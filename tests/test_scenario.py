@@ -10,6 +10,7 @@ from hypothesis import strategies as st
 
 from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS, Autoscaler
+from repro.engine.faults import FAULT_KINDS
 from repro.engine.flstore import EngineFLStore
 from repro.engine.sharded import ShardedEngineFLStore
 from repro.fl.models import MODEL_ZOO
@@ -18,6 +19,8 @@ from repro.scenario import (
     AdmissionSpec,
     ArrivalSpec,
     AutoscalerSpec,
+    FaultSpec,
+    RemediationSpec,
     ScenarioSpec,
     ScenarioValidationError,
     TierSpec,
@@ -70,11 +73,58 @@ class TestValidation:
             {"slo_multiplier": -1},
             {"mean_service_seconds": 0},
             {"tier.shards": "2.5"},
+            {"remediation.enabled": True},  # plain tier: nothing to actuate
+            {"remediation.control_interval_seconds": 0},
+            {"remediation.cooldown_seconds": -1},
+            {"remediation.max_actions": -1},
+            {"remediation.shadow_rounds": 0},
+            {"remediation.shadow_requests": 0},
         ],
     )
     def test_invalid_knobs_raise_scenario_validation_error(self, override):
         with pytest.raises(ScenarioValidationError):
             apply_overrides(ScenarioSpec(), override)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "quake"},
+            {"onset_seconds": -1.0},
+            {"duration_seconds": -1.0},
+            {"magnitude": 0.0},
+            {"interval_seconds": 0.0},
+            {"zipf_exponent": 1.0},
+            {"kind": "slow-shard", "duration_seconds": 0.0},
+            {"kind": "reclamation-storm", "duration_seconds": 0.0},
+            {"kind": "network-spike", "duration_seconds": 0.0},
+        ],
+    )
+    def test_invalid_fault_clauses_rejected(self, kwargs):
+        with pytest.raises(ScenarioValidationError):
+            FaultSpec(**kwargs)
+
+    def test_shard_crash_requires_a_survivable_ring(self):
+        crash = FaultSpec(kind="shard-crash", magnitude=1.0)
+        # A plain (or single-shard) tier has no shard to lose.
+        with pytest.raises(ScenarioValidationError, match="sharded tier"):
+            ScenarioSpec(faults=(crash,))
+        # Crashing every shard would crash the last one.
+        with pytest.raises(ScenarioValidationError, match="last"):
+            ScenarioSpec(
+                tier=TierSpec(shards=2, router_kind="jsq"),
+                faults=(FaultSpec(kind="shard-crash", magnitude=2.0),),
+            )
+
+    def test_remediation_and_autoscaler_are_mutually_exclusive(self):
+        with pytest.raises(ScenarioValidationError, match="control loops"):
+            ScenarioSpec(
+                tier=TierSpec(
+                    shards=2,
+                    router_kind="jsq",
+                    autoscaler=AutoscalerSpec(enabled=True),
+                ),
+                remediation=RemediationSpec(enabled=True),
+            )
 
     def test_multi_shard_tier_requires_router(self):
         with pytest.raises(ScenarioValidationError, match="needs a router"):
@@ -120,6 +170,26 @@ _small_floats = st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_
 
 
 @st.composite
+def fault_specs(draw, shards: int) -> FaultSpec:
+    kinds = FAULT_KINDS if shards >= 2 else tuple(k for k in FAULT_KINDS if k != "shard-crash")
+    kind = draw(st.sampled_from(kinds))
+    if kind == "shard-crash":
+        magnitude = float(draw(st.integers(1, shards - 1)))
+    else:
+        magnitude = draw(_small_floats)
+    return FaultSpec(
+        kind=kind,
+        onset_seconds=draw(_small_floats),
+        duration_seconds=draw(_small_floats),
+        magnitude=magnitude,
+        interval_seconds=draw(_small_floats),
+        zipf_exponent=draw(
+            st.floats(min_value=1.01, max_value=10.0, allow_nan=False, allow_infinity=False)
+        ),
+    )
+
+
+@st.composite
 def scenario_specs(draw) -> ScenarioSpec:
     router_kind = draw(st.sampled_from((None,) + ROUTER_KINDS))
     shards = 1 if router_kind is None else draw(st.integers(1, 8))
@@ -127,6 +197,15 @@ def scenario_specs(draw) -> ScenarioSpec:
         enabled=router_kind is not None and draw(st.booleans()),
         policy=draw(st.sampled_from(AUTOSCALER_KINDS)),
         control_interval_seconds=draw(_small_floats),
+    )
+    faults = tuple(draw(st.lists(fault_specs(shards=shards), max_size=3)))
+    remediation = RemediationSpec(
+        enabled=router_kind is not None and not autoscaler.enabled and draw(st.booleans()),
+        control_interval_seconds=draw(_small_floats),
+        cooldown_seconds=draw(_small_floats),
+        max_actions=draw(st.integers(0, 8)),
+        shadow_rounds=draw(st.integers(1, 8)),
+        shadow_requests=draw(st.integers(1, 64)),
     )
     workloads = tuple(
         draw(
@@ -159,6 +238,8 @@ def scenario_specs(draw) -> ScenarioSpec:
         ),
         slo_multiplier=draw(st.one_of(st.just(0.0), _small_floats)),
         mean_service_seconds=draw(st.one_of(st.none(), _small_floats)),
+        faults=faults,
+        remediation=remediation,
     )
 
 
@@ -195,6 +276,21 @@ class TestRoundTrips:
             ScenarioSpec.from_json("{not json")
         with pytest.raises(ScenarioValidationError):
             ScenarioSpec.from_toml("= broken")
+
+    def test_fault_clauses_emit_as_toml_arrays_of_tables(self):
+        spec = get_scenario("fault-recovery")
+        document = spec.to_toml()
+        assert "[[faults]]" in document
+        assert ScenarioSpec.from_toml(document) == spec
+        # An empty clause list is dropped from the document and defaulted on
+        # the way back in.
+        bare = spec.with_overrides({"faults": []})
+        assert "faults" not in bare.to_toml()
+        assert ScenarioSpec.from_toml(bare.to_toml()) == bare
+
+    def test_faults_must_be_a_sequence_of_tables(self):
+        with pytest.raises(ScenarioValidationError, match="array of tables"):
+            ScenarioSpec.from_dict({"faults": {"kind": "slow-shard"}})
 
 
 # ---------------------------------------------------------------------------
