@@ -33,6 +33,7 @@ import numpy as np
 from repro.common.units import GB
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.engine.kernel import EventLoop, SimTask, Timeout
+from repro.engine.streaming import StreamingLoadCollector, check_metrics_mode
 from repro.network.model import spike_cost, spike_latency
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.metrics import RequestRecord
@@ -406,6 +407,22 @@ class EngineFLStore:
         self._waiting = 0
         self._depth_samples: list[tuple[float, int]] = []
         self._completed: list[EngineOutcome] = []
+        #: Lifetime completion counters, maintained in O(1) per outcome.
+        #: The remediation controller samples SLO compliance from these
+        #: (``watch_slo_seconds`` arms the violation counter) instead of
+        #: re-scanning ``_completed`` every control tick, and the streaming
+        #: metrics mode depends on them because it retains no rows at all.
+        self.completed_total = 0
+        self.finished_total = 0
+        self.slo_violations_total = 0
+        self.watch_slo_seconds: float | None = None
+        #: Streaming-mode hooks: when set, completed outcomes / queue-depth
+        #: changes flow to these callbacks *instead of* the retained
+        #: ``_completed`` / ``_depth_samples`` lists (``metrics="streaming"``
+        #: keeps memory flat in request count).  ``None`` (the default)
+        #: preserves the retained-row pipeline byte for byte.
+        self.outcome_sink: Callable[[EngineOutcome], None] | None = None
+        self.depth_listener: Callable[["EngineFLStore", float, int], None] | None = None
         #: Re-arm predicate for the keep-alive/reclamation daemons.  Stand-
         #: alone, an engine keeps them alive while it has submitted-but-
         #: incomplete requests; a routing front door overrides this with its
@@ -490,7 +507,7 @@ class EngineFLStore:
             completed_at=now,
             disposition="shed",
         )
-        self._completed.append(outcome)
+        self._record(outcome)
         self._outstanding -= 1
         task.resolve(outcome)
 
@@ -510,7 +527,7 @@ class EngineFLStore:
             completed_at=self.loop.now,
             disposition="degraded",
         )
-        self._completed.append(outcome)
+        self._record(outcome)
         self._outstanding -= 1
         return outcome
 
@@ -555,13 +572,31 @@ class EngineFLStore:
             completed_at=self.loop.now,
             disposition=disposition,
         )
-        self._completed.append(outcome)
+        self._record(outcome)
         self._outstanding -= 1
         return outcome
 
+    def _record(self, outcome: EngineOutcome) -> None:
+        """Account one completed outcome: counters, then retain or stream it."""
+        self.completed_total += 1
+        if outcome.disposition != "shed":
+            self.finished_total += 1
+            watch = self.watch_slo_seconds
+            if watch is not None and outcome.sojourn_seconds > watch:
+                self.slo_violations_total += 1
+        sink = self.outcome_sink
+        if sink is None:
+            self._completed.append(outcome)
+        else:
+            sink(outcome)
+
     def _note_queue_change(self, delta: int) -> None:
         self._waiting += delta
-        self._depth_samples.append((self.loop.now, self._waiting))
+        listener = self.depth_listener
+        if listener is None:
+            self._depth_samples.append((self.loop.now, self._waiting))
+        else:
+            listener(self, self.loop.now, self._waiting)
 
     def _apply_network_fault(self, result: ServeResult) -> ServeResult:
         """Scale a result's communication latency/cost during a network spike."""
@@ -738,6 +773,44 @@ class EngineFLStore:
             results.append(task.result.result)
         return results
 
+    def _submit_block(
+        self,
+        requests: Sequence[WorkloadRequest],
+        absolute_times: Sequence[float],
+        priorities: Sequence[float] | None,
+    ) -> None:
+        """Submit one open-loop block, bulk-scheduling sorted arrivals.
+
+        Arrival processes produce non-decreasing instants, so the common
+        case consumes them through :meth:`EventLoop.schedule_many` (one
+        sorted-array cursor) instead of N individual pushes; a contiguous
+        sequence block is reserved up front, so the event order — and
+        therefore every report — is byte-identical to per-request
+        :meth:`submit` calls.  Unsorted inputs fall back to those calls.
+        """
+        count = len(requests)
+        if count == 0:
+            return
+        times = np.asarray(absolute_times, dtype=np.float64)
+        if count > 1 and not bool(np.all(times[1:] >= times[:-1])):
+            for index, (request, at) in enumerate(zip(requests, absolute_times)):
+                priority = priorities[index] if priorities is not None else 0.0
+                self.submit(request, at=at, priority=priority)
+            return
+        tasks = [SimTask(self.loop, name=request.request_id) for request in requests]
+        self._outstanding += count
+
+        def _arrive(index: int) -> None:
+            request = requests[index]
+            task = tasks[index]
+            if self.max_queue_depth > 0 and self._waiting >= self.max_queue_depth:
+                self._shed(request, task)
+            else:
+                priority = priorities[index] if priorities is not None else 0.0
+                self.loop.process(self._request_process(request, priority), task=task)
+
+        self.loop.schedule_many(times, _arrive)
+
     def run_open_loop(
         self,
         requests: Sequence[WorkloadRequest],
@@ -747,6 +820,7 @@ class EngineFLStore:
         keepalive: bool = False,
         slo_seconds: float | None = None,
         fault_plan=None,
+        metrics: str = "full",
     ) -> LoadReport:
         """Serve ``requests`` at the given arrival times; report load metrics.
 
@@ -762,24 +836,49 @@ class EngineFLStore:
         accounting) are reported per run, not engine-lifetime.  A
         ``fault_plan`` (:class:`repro.engine.faults.FaultPlan`) schedules its
         fault clauses as events on the same virtual timeline.
+
+        ``metrics`` selects the report pipeline: ``"full"`` (default)
+        retains every outcome and reports exact percentiles — byte-identical
+        to the pre-knob behaviour — while ``"streaming"`` folds outcomes
+        into O(1)-memory accumulators (:mod:`repro.engine.streaming`) as
+        they complete: every scalar column except the three percentile
+        sketches is still exact, and ``report.outcomes`` is empty.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
+        check_metrics_mode(metrics)
         base = self.loop.now
         absolute_times = [base + float(at) for at in arrival_times]
         start_count = len(self._completed)
         pings_before = self.keepalive_pings
         reclamations_before = self.reclamations
         self._depth_samples = []
-        for index, (request, at) in enumerate(zip(requests, absolute_times)):
-            priority = priorities[index] if priorities is not None else 0.0
-            self.submit(request, at=at, priority=priority)
-        if keepalive:
-            self.schedule_keepalive()
-        self.schedule_reclamations()
-        if fault_plan is not None:
-            fault_plan.start()
-        self.loop.run()
+        collector: StreamingLoadCollector | None = None
+        if metrics == "streaming":
+            collector = StreamingLoadCollector(slo_seconds)
+            self.outcome_sink = collector.fold
+            self.depth_listener = lambda engine, now, depth: collector.note_depth(now, depth)
+        try:
+            self._submit_block(requests, absolute_times, priorities)
+            if keepalive:
+                self.schedule_keepalive()
+            self.schedule_reclamations()
+            if fault_plan is not None:
+                fault_plan.start()
+            self.loop.run()
+        finally:
+            if collector is not None:
+                self.outcome_sink = None
+                self.depth_listener = None
+        if collector is not None:
+            return collector.build_report(
+                label,
+                submitted=len(absolute_times),
+                first_arrival=min(absolute_times) if absolute_times else 0.0,
+                last_arrival=max(absolute_times) if absolute_times else 0.0,
+                keepalive_pings=self.keepalive_pings - pings_before,
+                reclamations=self.reclamations - reclamations_before,
+            )
         outcomes = self._completed[start_count:]
         return build_load_report(
             outcomes,

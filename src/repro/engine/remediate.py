@@ -248,7 +248,8 @@ class RemediationController:
         self._violation_baseline = 0.0
         self._seen_requeued = 0
         self._seen_shed = 0
-        self._seen_completed = 0
+        self._seen_finished = 0
+        self._seen_violations = 0
         self._last_verify_at: float | None = None
         self._shadow_cache: dict[tuple, dict] = {}
         self._started = False
@@ -262,7 +263,14 @@ class RemediationController:
         self._started = True
         self._seen_requeued = self.tier.requeued_requests
         self._seen_shed = self.tier.shed_requests
-        self._seen_completed = len(self.tier._completed)
+        # Arm the tier's lifetime SLO-violation counter and snapshot it:
+        # every control tick then reads a per-window violation rate as two
+        # O(1) counter deltas instead of slicing the (unboundedly growing)
+        # completed-outcome list — the former O(n^2) term over a run.
+        if self.slo_seconds is not None:
+            self.tier.watch_slo_seconds = self.slo_seconds
+        self._seen_finished = self.tier.finished_total
+        self._seen_violations = self.tier.slo_violations_total
         self.tier.loop.schedule(self.config.control_interval_seconds, self._tick)
 
     def finalize(self) -> None:
@@ -301,17 +309,15 @@ class RemediationController:
 
     def _sample(self) -> dict:
         tier = self.tier
-        completed = tier._completed
-        recent = completed[self._seen_completed :]
-        self._seen_completed = len(completed)
         requeued = tier.requeued_requests
         shed = tier.shed_requests
+        finished_total = tier.finished_total
+        violations_total = tier.slo_violations_total
         violation_rate = 0.0
         if self.slo_seconds is not None:
-            finished = [o for o in recent if o.disposition != "shed"]
-            if finished:
-                violations = sum(1 for o in finished if o.sojourn_seconds > self.slo_seconds)
-                violation_rate = violations / len(finished)
+            finished_delta = finished_total - self._seen_finished
+            if finished_delta:
+                violation_rate = (violations_total - self._seen_violations) / finished_delta
         sample = {
             "now": tier.loop.now,
             "queue_depth": tier.waiting_requests,
@@ -325,6 +331,8 @@ class RemediationController:
         }
         self._seen_requeued = requeued
         self._seen_shed = shed
+        self._seen_finished = finished_total
+        self._seen_violations = violations_total
         return sample
 
     def _current_shed_policy(self) -> str:

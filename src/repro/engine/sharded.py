@@ -41,6 +41,8 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+import numpy as np
+
 from repro.common.errors import ConfigurationError
 from repro.config import SHED_POLICIES
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
@@ -51,6 +53,7 @@ from repro.engine.flstore import (
     build_load_report,
 )
 from repro.engine.kernel import EventLoop, SimTask
+from repro.engine.streaming import StreamingLoadCollector, check_metrics_mode
 from repro.routing import ShardRouter, make_router
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.records import CostAccumulator, LatencyAccumulator
@@ -80,6 +83,14 @@ def merge_depth_samples(
         current[shard_index] = depth
         merged.append((time_point, sum(current)))
     return merged
+
+
+def _discard_outcome(outcome: EngineOutcome) -> None:
+    """Shard-level outcome sink for streaming runs.
+
+    The front door already folds every outcome into the run's collector as
+    the shard task resolves; the shard itself must simply not retain the row.
+    """
 
 
 class ShardedEngineFLStore:
@@ -195,6 +206,25 @@ class ShardedEngineFLStore:
         self.latency_totals = LatencyAccumulator()
         self.cost_totals = CostAccumulator()
         self._completed: list[EngineOutcome] = []
+        #: Tier-lifetime outcome counters, mirroring the plain engine's: the
+        #: remediation controller reads per-window deltas off these
+        #: (``watch_slo_seconds`` arms the violation counter) instead of
+        #: re-scanning ``_completed`` every control tick, and the streaming
+        #: metrics mode depends on them because it retains no rows at all.
+        self.completed_total = 0
+        self.finished_total = 0
+        self.slo_violations_total = 0
+        self.watch_slo_seconds: float | None = None
+        #: Streaming-mode hook: when set, resolved outcomes flow here
+        #: instead of the retained ``_completed`` list.
+        self.outcome_sink: Callable[[EngineOutcome], None] | None = None
+        # Fleet-wide queue depth, maintained incrementally during streaming
+        # runs: last-seen depth per shard plus the running total, folded into
+        # the collector in observation order (the same sum-of-last-seen
+        # semantics as ``merge_depth_samples``).
+        self._stream_collector: StreamingLoadCollector | None = None
+        self._stream_depths: dict[int, int] = {}
+        self._stream_depth_total = 0
 
     @classmethod
     def build(
@@ -286,10 +316,66 @@ class ShardedEngineFLStore:
 
     def _collect(self, outcome: EngineOutcome) -> None:
         """Aggregate one resolved outcome (fires in global completion order)."""
-        self._completed.append(outcome)
+        self.completed_total += 1
+        if outcome.disposition != "shed":
+            self.finished_total += 1
+            watch = self.watch_slo_seconds
+            if watch is not None and outcome.sojourn_seconds > watch:
+                self.slo_violations_total += 1
+        sink = self.outcome_sink
+        if sink is None:
+            self._completed.append(outcome)
+        else:
+            sink(outcome)
         self.latency_totals.add(outcome.result.latency)
         self.cost_totals.add(outcome.result.cost)
         self._inflight -= 1
+
+    def _submit_block(
+        self,
+        requests: Sequence[WorkloadRequest],
+        absolute_times: Sequence[float],
+        priorities: Sequence[float] | None,
+    ) -> None:
+        """Submit one open-loop block, bulk-scheduling sorted arrivals.
+
+        The front-door counterpart of
+        :meth:`EngineFLStore._submit_block`: non-decreasing arrival instants
+        go through one :meth:`~repro.engine.kernel.EventLoop.schedule_many`
+        stream (routing still happens per arrival, at arrival time), with a
+        contiguous sequence block reserved up front so event order — and
+        every report — is byte-identical to per-request :meth:`submit`
+        calls.  Unsorted inputs fall back to those calls.
+        """
+        count = len(requests)
+        if count == 0:
+            return
+        times = np.asarray(absolute_times, dtype=np.float64)
+        if count > 1 and not bool(np.all(times[1:] >= times[:-1])):
+            for index, (request, at) in enumerate(zip(requests, absolute_times)):
+                priority = priorities[index] if priorities is not None else 0.0
+                self.submit(request, at=at, priority=priority)
+            return
+        tasks = []
+        for request in requests:
+            task = SimTask(self.loop, name=request.request_id)
+            task.add_done_callback(self._collect)
+            tasks.append(task)
+        self._inflight += count
+
+        def _admit(index: int) -> None:
+            request = requests[index]
+            self.arrived_requests += 1
+            slot = self.router.route_request(request)
+            shard_index = self._active[slot]
+            self.routed_counts[shard_index] += 1
+            priority = priorities[index] if priorities is not None else 0.0
+            shard_task = self.shards[shard_index].submit(
+                request, at=self.loop.now, priority=priority
+            )
+            shard_task.add_done_callback(tasks[index].resolve)
+
+        self.loop.schedule_many(times, _admit)
 
     @property
     def inflight(self) -> int:
@@ -298,6 +384,44 @@ class ShardedEngineFLStore:
 
     def _has_inflight(self) -> bool:
         return self._inflight > 0
+
+    # ------------------------------------------------------ streaming hooks
+
+    def _begin_streaming(self, collector: StreamingLoadCollector) -> None:
+        """Route outcomes and queue-depth changes into ``collector``.
+
+        The front door folds every resolved outcome; each shard discards its
+        own copy of the row and reports queue-depth changes to
+        :meth:`_on_shard_depth`, which maintains the fleet-wide depth
+        incrementally.  Shards added mid-run get the same hooks
+        (see :meth:`add_shard`).
+        """
+        self._stream_collector = collector
+        self._stream_depths = {}
+        self._stream_depth_total = 0
+        self.outcome_sink = collector.fold
+        for shard in self.shards:
+            self._apply_stream_hooks(shard)
+
+    def _apply_stream_hooks(self, shard: EngineFLStore) -> None:
+        shard.outcome_sink = _discard_outcome
+        shard.depth_listener = self._on_shard_depth
+
+    def _on_shard_depth(self, shard: EngineFLStore, now: float, depth: int) -> None:
+        key = id(shard)
+        previous = self._stream_depths.get(key, 0)
+        self._stream_depths[key] = depth
+        self._stream_depth_total += depth - previous
+        self._stream_collector.note_depth(now, self._stream_depth_total)
+
+    def _end_streaming(self) -> None:
+        self._stream_collector = None
+        self._stream_depths = {}
+        self._stream_depth_total = 0
+        self.outcome_sink = None
+        for shard in self.shards:
+            shard.outcome_sink = None
+            shard.depth_listener = None
 
     # --------------------------------------------------------- online resize
 
@@ -364,6 +488,8 @@ class ShardedEngineFLStore:
         # while this shard was retired.
         shard.set_function_concurrency(self.slots_per_function)
         shard.daemon_alive = self._has_inflight
+        if self._stream_collector is not None:
+            self._apply_stream_hooks(shard)
         self._active.append(index)
         self.router = self.router.resized(len(self._active))
         self._bind_router()
@@ -476,6 +602,7 @@ class ShardedEngineFLStore:
         autoscaler=None,
         fault_plan=None,
         remediation=None,
+        metrics: str = "full",
     ) -> LoadReport:
         """Serve ``requests`` open-loop across the tier; report fleet metrics.
 
@@ -490,9 +617,17 @@ class ShardedEngineFLStore:
         the same way, and a ``remediation`` controller
         (:class:`repro.engine.remediate.RemediationController`) ticks
         alongside, detecting and repairing what the faults break.
+
+        ``metrics`` selects the report pipeline exactly as on the plain
+        engine: ``"full"`` (default) retains rows and is byte-identical to
+        the pre-knob behaviour; ``"streaming"`` folds outcomes and the
+        fleet-wide queue depth into O(1)-memory accumulators — every scalar
+        column except the percentile sketches stays exact, and
+        ``report.outcomes`` is empty.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must have the same length")
+        check_metrics_mode(metrics)
         base = self.loop.now
         absolute_times = [base + float(at) for at in arrival_times]
         start_count = len(self._completed)
@@ -501,26 +636,41 @@ class ShardedEngineFLStore:
         self._keepalive_active = keepalive
         for shard in self.shards:
             shard._depth_samples = []
-        for index, (request, at) in enumerate(zip(requests, absolute_times)):
-            priority = priorities[index] if priorities is not None else 0.0
-            self.submit(request, at=at, priority=priority)
-        if keepalive:
+        collector: StreamingLoadCollector | None = None
+        if metrics == "streaming":
+            collector = StreamingLoadCollector(slo_seconds)
+            self._begin_streaming(collector)
+        try:
+            self._submit_block(requests, absolute_times, priorities)
+            if keepalive:
+                for index in self._active:
+                    self.shards[index].schedule_keepalive()
             for index in self._active:
-                self.shards[index].schedule_keepalive()
-        for index in self._active:
-            self.shards[index].schedule_reclamations()
-        if autoscaler is not None:
-            autoscaler.start()
-        if fault_plan is not None:
-            fault_plan.start()
-        if remediation is not None:
-            remediation.start()
-        self.loop.run()
-        if autoscaler is not None:
-            autoscaler.finalize()
-        if remediation is not None:
-            remediation.finalize()
-        self._keepalive_active = False
+                self.shards[index].schedule_reclamations()
+            if autoscaler is not None:
+                autoscaler.start()
+            if fault_plan is not None:
+                fault_plan.start()
+            if remediation is not None:
+                remediation.start()
+            self.loop.run()
+            if autoscaler is not None:
+                autoscaler.finalize()
+            if remediation is not None:
+                remediation.finalize()
+            self._keepalive_active = False
+        finally:
+            if collector is not None:
+                self._end_streaming()
+        if collector is not None:
+            return collector.build_report(
+                label,
+                submitted=len(absolute_times),
+                first_arrival=min(absolute_times) if absolute_times else 0.0,
+                last_arrival=max(absolute_times) if absolute_times else 0.0,
+                keepalive_pings=self.keepalive_pings - pings_before,
+                reclamations=self.reclamations - reclamations_before,
+            )
         outcomes = self._completed[start_count:]
         return build_load_report(
             outcomes,

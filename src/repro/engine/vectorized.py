@@ -1,0 +1,286 @@
+"""The vectorized fast path: million-request single-tier runs in seconds.
+
+The discrete-event path costs a few microseconds per request — generator
+processes, heap traffic, per-request ``FLStore.serve`` calls — which is the
+right price for faulted, autoscaled, or admission-controlled topologies, and
+the wrong one for the raw-speed question ("what does this tier do under a
+million requests?").  This module answers that question in single-digit
+seconds by replacing the event loop with closed-form queueing:
+
+* **compact trace** — the request stream is represented as one int64 array
+  of *signature classes* (workload x target round), drawn from the same RNG
+  stream as :meth:`repro.traces.generator.RequestTraceGenerator.mixed_trace`
+  (``Generator.choice`` is stream-identical drawn scalar or batched), so the
+  fast path serves the same request sequence without materializing a million
+  ``WorkloadRequest`` objects.
+* **oracle memoization** — each distinct class is served through the real
+  analytic :class:`~repro.core.flstore.FLStore` twice (a warm pass that
+  pays the cold start and fills the cache, then a steady pass whose result
+  is memoized), so per-class service times, costs, and execution-function
+  routing come from the true oracle, not a model of it.
+* **slot recurrence** — FIFO per-function c-slot queueing collapses to
+  ``start = max(arrival, earliest-free-slot)``; a tight per-function
+  busy-until recurrence (plain array for c=1, heap otherwise) computes every
+  start time in arrival order.
+* **array folding** — waits/sojourns/completions are pure ndarray math,
+  folded chunk-wise into a :class:`~repro.engine.streaming.
+  StreamingLoadCollector`; the mean queue depth is exact (total wait over
+  the horizon), the max depth comes from a sorted +1/-1 event sweep.
+
+What the fast path approximates, relative to the event path: per-request
+cache-state evolution (every request of a class gets the class's
+steady-state oracle result; only the first few serves of a run differ),
+same-instant tie ordering in the max-depth column, the sketched percentile
+columns, and the keep-alive/reclamation daemons (not scheduled — eligibility
+requires a fault-free tier, where they only add report counters).  Counts,
+conservation, means, rates, and the mean queue depth are exact given the
+memoized oracle.
+
+Eligibility (:func:`fast_path_eligible`) is deliberately narrow: a plain
+(unsharded) tier, FIFO discipline, unbounded admission, no faults, no
+autoscaler, no remediation, and ``metrics="streaming"``.  Everything else
+takes the event path, which remains the semantic reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from math import inf
+
+import numpy as np
+
+from repro.common.ids import IdGenerator
+from repro.common.rng import derive_rng
+from repro.engine.streaming import StreamingLoadCollector
+from repro.workloads.base import PolicyClass, WorkloadRequest
+from repro.workloads.registry import get_workload
+
+#: Chunk size for the per-request loops and folds: large enough to amortize
+#: numpy dispatch, small enough that transient Python floats stay ~6 MB even
+#: on a million-request run.
+_CHUNK = 65536
+
+
+def fast_path_eligible(spec) -> bool:
+    """Whether ``spec`` can run on the vectorized fast path.
+
+    True only for the topology whose queueing is closed-form: one plain
+    engine tier, FIFO queues, unbounded admission, nothing dynamic (no
+    faults, autoscaler, or remediation controller mutating the tier
+    mid-run), and streaming metrics (the fast path retains no rows).
+    """
+    return (
+        spec.metrics == "streaming"
+        and not spec.tier.sharded
+        and spec.tier.queue_discipline == "fifo"
+        and spec.tier.admission.max_queue_depth == 0
+        and not spec.faults
+        and not spec.remediation.enabled
+        and not spec.tier.autoscaler.enabled
+    )
+
+
+def _class_table(catalog, workload_names):
+    """Map every (workload, trace position round) pair to a signature class.
+
+    Mirrors ``mixed_trace``'s per-request construction: P1 workloads always
+    target the newest round (one class per workload), P3 workloads follow
+    the round's first participant, P2/P4 target the cycled round itself.
+    Returns the ``(workload index, round position) -> class`` lookup plus
+    each class's ``(workload, round, client)`` exemplar signature.
+    """
+    rounds = catalog.rounds()
+    latest = catalog.latest_round
+    classes: dict[tuple, int] = {}
+    signatures: list[tuple] = []
+    lookup = np.empty((len(workload_names), len(rounds)), dtype=np.int64)
+    for name_index, name in enumerate(workload_names):
+        workload = get_workload(name)
+        for round_position, round_id in enumerate(rounds):
+            request_round = round_id
+            client_id = None
+            if workload.policy_class is PolicyClass.P1_INDIVIDUAL:
+                request_round = latest
+            elif workload.policy_class is PolicyClass.P3_ACROSS_ROUNDS:
+                participants = catalog.participants(round_id)
+                client_id = participants[0] if participants else None
+            key = (name, request_round, client_id)
+            if key not in classes:
+                classes[key] = len(signatures)
+                signatures.append(key)
+            lookup[name_index, round_position] = classes[key]
+    return lookup, signatures
+
+
+def _memoize_oracle(flstore, signatures):
+    """Serve each signature class through the analytic oracle; memoize.
+
+    Two passes: the first pays each class's cold start and fills the cache
+    (exactly what the head of an event-path run does), the second serves
+    against the warmed store and its results — service time, cost, execution
+    function — stand in for every request of the class.  Request ids are
+    unique per serve (the store's tracker rejects duplicates).
+    """
+    ids = IdGenerator(prefix="fastpath-req", width=6)
+
+    def serve(signature):
+        name, round_id, client_id = signature
+        return flstore.serve(
+            WorkloadRequest(
+                request_id=ids.next(),
+                workload=name,
+                round_id=round_id,
+                client_id=client_id,
+            )
+        )
+
+    for signature in signatures:
+        serve(signature)
+    return [serve(signature) for signature in signatures]
+
+
+def _class_stream(seed, num_classes_lookup, num_workloads, num_rounds, num_requests):
+    """The per-request class indices, chunk-drawn from the mixed-trace RNG."""
+    rng = derive_rng(seed, "mixed-trace")
+    per_round = num_workloads
+    class_index = np.empty(num_requests, dtype=np.int64)
+    for start in range(0, num_requests, _CHUNK):
+        stop = min(start + _CHUNK, num_requests)
+        name_index = rng.choice(num_workloads, size=stop - start)
+        round_position = (np.arange(start, stop) // per_round) % num_rounds
+        class_index[start:stop] = num_classes_lookup[name_index, round_position]
+    return class_index
+
+
+def _start_times(arrivals, function_index, service, num_functions, slots):
+    """FIFO c-slot start times, in arrival order.
+
+    Each function owns ``slots`` execution slots; a request starts at
+    ``max(arrival, earliest slot free)`` and occupies the slot for its
+    service time.  Requests with no function (index -1) start immediately.
+    The loop runs chunk-wise over plain Python floats (ndarray scalar access
+    is several times slower) but never holds more than one chunk of them.
+    """
+    n = arrivals.size
+    starts = np.empty(n, dtype=np.float64)
+    if slots == 1:
+        busy = [-inf] * num_functions
+        for chunk_start in range(0, n, _CHUNK):
+            stop = min(chunk_start + _CHUNK, n)
+            arrived = arrivals[chunk_start:stop].tolist()
+            functions = function_index[chunk_start:stop].tolist()
+            services = service[chunk_start:stop].tolist()
+            out = arrived
+            for i, at in enumerate(arrived):
+                f = functions[i]
+                if f < 0:
+                    continue
+                free_at = busy[f]
+                begin = at if at > free_at else free_at
+                out[i] = begin
+                busy[f] = begin + services[i]
+            starts[chunk_start:stop] = out
+        return starts
+    heaps = [[-inf] * slots for _ in range(num_functions)]
+    heapreplace = heapq.heapreplace
+    for chunk_start in range(0, n, _CHUNK):
+        stop = min(chunk_start + _CHUNK, n)
+        arrived = arrivals[chunk_start:stop].tolist()
+        functions = function_index[chunk_start:stop].tolist()
+        services = service[chunk_start:stop].tolist()
+        out = arrived
+        for i, at in enumerate(arrived):
+            f = functions[i]
+            if f < 0:
+                continue
+            heap = heaps[f]
+            free_at = heap[0]
+            begin = at if at > free_at else free_at
+            out[i] = begin
+            heapreplace(heap, begin + services[i])
+        starts[chunk_start:stop] = out
+    return starts
+
+
+def _max_queue_depth(arrivals, starts, waits):
+    """Peak concurrent waiters, from a sorted +1 (enqueue) / -1 (start) sweep.
+
+    At exactly-equal instants the -1 sorts first, so a slot handoff at time
+    ``t`` is counted after the departing waiter leaves — deterministic, and
+    within one of the event path's sample-order-dependent value.
+    """
+    queued = waits > 0.0
+    count = int(np.count_nonzero(queued))
+    if count == 0:
+        return 0
+    times = np.concatenate([arrivals[queued], starts[queued]])
+    deltas = np.concatenate(
+        [np.ones(count, dtype=np.int64), np.full(count, -1, dtype=np.int64)]
+    )
+    order = np.lexsort((deltas, times))
+    return int(np.cumsum(deltas[order]).max())
+
+
+def run_fast_path(store, spec, arrival_process, slo_seconds, label):
+    """Serve ``spec``'s mix on the fast path; return a streaming ``LoadReport``.
+
+    ``store`` is the built (fully ingested) plain :class:`~repro.engine.
+    flstore.EngineFLStore`; the caller has already checked
+    :func:`fast_path_eligible`.  The report has the streaming pipeline's
+    shape: ``outcomes`` empty, percentiles sketched, every other column
+    closed-form.
+    """
+    workload_names = list(spec.workload.workloads)
+    num_requests = spec.workload.num_requests
+    lookup, signatures = _class_table(store.catalog, workload_names)
+    results = _memoize_oracle(store.flstore, signatures)
+
+    service_by_class = np.array(
+        [result.latency.total_seconds for result in results], dtype=np.float64
+    )
+    functions: dict[str, int] = {}
+    function_by_class = np.empty(len(results), dtype=np.int64)
+    for class_id, result in enumerate(results):
+        function_id = result.execution_function
+        if function_id is not None and store.platform.has_function(function_id):
+            function_by_class[class_id] = functions.setdefault(function_id, len(functions))
+        else:
+            function_by_class[class_id] = -1
+
+    arrivals = arrival_process.times_array(num_requests)
+    class_index = _class_stream(
+        spec.seed, lookup, len(workload_names), lookup.shape[1], num_requests
+    )
+    service = service_by_class[class_index]
+    function_index = function_by_class[class_index]
+
+    starts = _start_times(
+        arrivals,
+        function_index,
+        service,
+        num_functions=len(functions),
+        slots=spec.tier.function_concurrency,
+    )
+    waits = starts - arrivals
+    completions = starts + service
+    sojourns = completions - arrivals
+
+    collector = StreamingLoadCollector(slo_seconds)
+    for start in range(0, num_requests, _CHUNK):
+        stop = min(start + _CHUNK, num_requests)
+        collector.fold_served_arrays(sojourns[start:stop], waits[start:stop])
+
+    first_arrival = float(arrivals[0]) if num_requests else 0.0
+    last_arrival = float(arrivals[-1]) if num_requests else 0.0
+    last_completion = float(completions.max()) if num_requests else 0.0
+    collector.note_completion_time(last_completion)
+    horizon = last_completion - first_arrival
+    mean_depth = float(waits.sum()) / horizon if horizon > 0 else 0.0
+    max_depth = _max_queue_depth(arrivals, starts, waits)
+    return collector.build_report(
+        label,
+        submitted=num_requests,
+        first_arrival=first_arrival,
+        last_arrival=last_arrival,
+        depth_profile=(mean_depth, max_depth),
+    )

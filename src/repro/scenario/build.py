@@ -44,6 +44,7 @@ from repro.engine.remediate import (
     RemediationSummary,
 )
 from repro.engine.sharded import ShardedEngineFLStore
+from repro.engine.vectorized import fast_path_eligible, run_fast_path
 from repro.routing import make_router
 from repro.scenario.spec import ScenarioSpec
 from repro.traces.arrivals import make_arrival_process
@@ -105,7 +106,15 @@ def calibrate_mean_service_seconds(
     ``slo_multiplier`` into an SLO.  Uses the *base* config (tier knobs
     cannot change closed-loop service times, but keeping the config
     identical keeps the setup snapshots shared with the figure experiments).
+
+    The closed-loop sample is capped at 256 requests: the mix cycles its
+    signature classes within far fewer requests than that, so a longer
+    sample only re-averages the same steady-state latencies — and a
+    million-request spec must not pay a million-request calibration.  (Every
+    pre-cap caller asked for <= 160, so capped and uncapped calibrations are
+    identical where both exist.)
     """
+    num_requests = min(num_requests, 256)
     key = (model_name, tuple(workloads), num_rounds, num_requests, seed)
     if setup_cache.enabled() and key in _calibration_cache:
         return _calibration_cache[key]
@@ -383,33 +392,46 @@ def run(spec: ScenarioSpec) -> RunReport:
         rate = spec.arrival.rate_rps
     else:
         rate = spec.arrival.utilization / mean_service
-    trace = tier.generator.mixed_trace(list(spec.workload.workloads), spec.workload.num_requests)
-    arrivals = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed).times(len(trace))
-    extras: dict = {}
-    if tier.fault_plan is not None:
-        extras["fault_plan"] = tier.fault_plan
-    if tier.remediation is not None:
-        extras["remediation"] = tier.remediation
-    if tier.autoscaler is not None:
-        label = f"{spec.arrival.kind}/{spec.tier.autoscaler.policy}"
-        report = tier.store.run_open_loop(
-            trace,
-            arrivals,
-            label=label,
-            keepalive=True,
-            slo_seconds=slo_seconds,
-            autoscaler=tier.autoscaler,
-            **extras,
+    arrival_process = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed)
+    if fast_path_eligible(spec):
+        # The closed-form queueing path: no per-request objects, no event
+        # loop — this is what makes million-request specs single-digit
+        # seconds (see repro.engine.vectorized for what it approximates).
+        report = run_fast_path(
+            tier.store, spec, arrival_process, slo_seconds, label=spec.arrival.kind
         )
     else:
-        report = tier.store.run_open_loop(
-            trace,
-            arrivals,
-            label=spec.arrival.kind,
-            keepalive=True,
-            slo_seconds=slo_seconds,
-            **extras,
+        trace = tier.generator.mixed_trace(
+            list(spec.workload.workloads), spec.workload.num_requests
         )
+        arrivals = arrival_process.times(len(trace))
+        extras: dict = {}
+        if tier.fault_plan is not None:
+            extras["fault_plan"] = tier.fault_plan
+        if tier.remediation is not None:
+            extras["remediation"] = tier.remediation
+        if tier.autoscaler is not None:
+            label = f"{spec.arrival.kind}/{spec.tier.autoscaler.policy}"
+            report = tier.store.run_open_loop(
+                trace,
+                arrivals,
+                label=label,
+                keepalive=True,
+                slo_seconds=slo_seconds,
+                autoscaler=tier.autoscaler,
+                metrics=spec.metrics,
+                **extras,
+            )
+        else:
+            report = tier.store.run_open_loop(
+                trace,
+                arrivals,
+                label=spec.arrival.kind,
+                keepalive=True,
+                slo_seconds=slo_seconds,
+                metrics=spec.metrics,
+                **extras,
+            )
     if not report.conserved:
         raise RuntimeError(
             f"conservation violated in scenario {spec.name!r}: "

@@ -130,6 +130,17 @@ for _spec in (
             queue_discipline="priority",
         ),
     ),
+    # Raw speed: one plain tier under a million Poisson arrivals with
+    # streaming metrics, served on the vectorized fast path — the
+    # engine-core benchmark scenario (benchmarks/bench_million.py gates its
+    # wall time at single-digit seconds).
+    ScenarioSpec(
+        name="million-request",
+        num_rounds=12,
+        workload=WorkloadMixSpec(num_requests=1_000_000),
+        arrival=ArrivalSpec(kind="poisson", utilization=0.8),
+        metrics="streaming",
+    ),
     # Fault injection with the closed-loop repair: a three-shard JSQ tier
     # (load-balanced, so capacity genuinely matters) loses a shard mid-run;
     # the remediation controller detects the capacity loss, shadow-verifies

@@ -36,6 +36,7 @@ from repro.common.errors import ConfigurationError
 from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.engine.faults import FAULT_KINDS
+from repro.engine.streaming import METRICS_MODES
 from repro.fl.models import MODEL_ZOO
 from repro.routing import ROUTER_KINDS
 from repro.traces.arrivals import ARRIVAL_KINDS
@@ -322,6 +323,11 @@ class ScenarioSpec:
     #: "calibrate from the spec's own workload mix"; sweeps pin it once per
     #: grid so every cell shares one calibration (and one SLO).
     mean_service_seconds: float | None = None
+    #: Metric pipeline: ``"full"`` retains per-request rows (exact
+    #: percentiles, byte-identical to pre-knob reports); ``"streaming"``
+    #: folds outcomes into O(1)-memory accumulators — required for
+    #: million-request scale, approximate only in the percentile columns.
+    metrics: str = "full"
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name:
@@ -343,6 +349,7 @@ class ScenarioSpec:
         _coerce_float(self, "slo_multiplier", minimum=0.0)
         if self.mean_service_seconds is not None:
             _coerce_float(self, "mean_service_seconds", minimum=0.0, exclusive=True)
+        _check_choice(self, "metrics", METRICS_MODES)
         object.__setattr__(self, "faults", tuple(self.faults))
         for index, clause in enumerate(self.faults):
             if not isinstance(clause, FaultSpec):
@@ -389,6 +396,7 @@ class ScenarioSpec:
             "num_rounds": self.num_rounds,
             "slo_multiplier": self.slo_multiplier,
             "mean_service_seconds": self.mean_service_seconds,
+            "metrics": self.metrics,
             "workload": {
                 "workloads": list(self.workload.workloads),
                 "num_requests": self.workload.num_requests,

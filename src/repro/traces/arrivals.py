@@ -14,15 +14,31 @@ cover the load regimes an FL metadata store sees in production:
 Every process is a pure function of ``(seed, parameters)`` via
 :func:`repro.common.rng.derive_rng`, so a load sweep is reproducible end to
 end: same seed, same arrival instants, same queueing behaviour.
+
+Every process exposes two equivalent APIs: :meth:`ArrivalProcess.times`
+(a list of Python floats, the original interface) and
+:meth:`ArrivalProcess.times_array` (one float64 ndarray, the bulk interface
+consumed by :meth:`repro.engine.kernel.EventLoop.schedule_many` and the
+vectorized fast path).  Both produce byte-identical instants: the
+vectorized generators consume the underlying ``standard_exponential``
+stream in exactly the order the original scalar loops did, which
+``tests/test_arrivals_vectorized.py`` pins against reference copies of the
+pre-vectorization loops at seed 7.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 
 import numpy as np
 
 from repro.common.rng import derive_rng
+
+#: Block size for pre-drawn `standard_exponential` values and output chunks.
+#: Large enough to amortize numpy call overhead, small enough that a
+#: million-request generation never holds more than ~0.5 MB of scratch.
+_CHUNK = 65536
 
 
 class ArrivalProcess(abc.ABC):
@@ -41,6 +57,14 @@ class ArrivalProcess(abc.ABC):
     def times(self, num_requests: int) -> list[float]:
         """The first ``num_requests`` arrival instants, starting at >= 0."""
 
+    def times_array(self, num_requests: int) -> np.ndarray:
+        """The same instants as :meth:`times`, as one float64 ndarray.
+
+        Subclasses override this with a vectorized generator where the RNG
+        stream allows; the default materializes through :meth:`times`.
+        """
+        return np.asarray(self.times(num_requests), dtype=np.float64)
+
     def _rng(self, *streams: object) -> np.random.Generator:
         return derive_rng(self.seed, "arrivals", self.name, self.rate_rps, *streams)
 
@@ -56,8 +80,14 @@ class PoissonArrivals(ArrivalProcess):
     def times(self, num_requests: int) -> list[float]:
         if num_requests <= 0:
             return []
+        return self.times_array(num_requests).tolist()
+
+    def times_array(self, num_requests: int) -> np.ndarray:
+        """One batched draw and one cumsum: the fully vectorized case."""
+        if num_requests <= 0:
+            return np.empty(0, dtype=np.float64)
         gaps = self._rng().exponential(scale=1.0 / self.rate_rps, size=num_requests)
-        return np.cumsum(gaps).tolist()
+        return np.cumsum(gaps)
 
     @property
     def mean_rate_rps(self) -> float:
@@ -101,18 +131,91 @@ class BurstyArrivals(ArrivalProcess):
     def times(self, num_requests: int) -> list[float]:
         if num_requests <= 0:
             return []
+        return self.times_array(num_requests).tolist()
+
+    def times_array(self, num_requests: int) -> np.ndarray:
+        """Vectorized ON/OFF window sampling, byte-identical to the scalar loop.
+
+        Every draw the original loop made was ``rng.exponential(scale)`` —
+        which numpy implements as ``scale * standard_exponential()`` off the
+        same bit stream — so the whole process can be generated from one
+        pre-drawn ``standard_exponential`` block consumed through a cursor:
+        per window, one ON draw, the in-window gap draws plus the single
+        terminating draw (the overshoot past the window, or the draw after
+        the final arrival), then one OFF draw.  Arrival instants accumulate
+        with the same float operation order as the scalar loop (a cumsum
+        seeded with the window clock), so the output is bit-for-bit equal.
+        """
+        if num_requests <= 0:
+            return np.empty(0, dtype=np.float64)
         rng = self._rng(self.mean_on_seconds, self.mean_off_seconds)
-        arrivals: list[float] = []
+        standard_exponential = rng.standard_exponential
+        gap_scale = 1.0 / self.burst_rate_rps
+        mean_on = self.mean_on_seconds
+        mean_off = self.mean_off_seconds
+
+        buf = standard_exponential(_CHUNK)
+        cursor = 0
+        chunks: list[np.ndarray] = []
+        produced = 0
         clock = 0.0
-        while len(arrivals) < num_requests:
-            on_duration = rng.exponential(self.mean_on_seconds)
-            # Poisson stream within the ON window.
-            t = clock + rng.exponential(1.0 / self.burst_rate_rps)
-            while t <= clock + on_duration and len(arrivals) < num_requests:
-                arrivals.append(t)
-                t += rng.exponential(1.0 / self.burst_rate_rps)
-            clock += on_duration + rng.exponential(self.mean_off_seconds)
-        return arrivals
+
+        def refill(at_least: int) -> None:
+            nonlocal buf, cursor
+            if buf.size - cursor < at_least:
+                buf = np.concatenate([buf[cursor:], standard_exponential(_CHUNK)])
+                cursor = 0
+
+        while produced < num_requests:
+            refill(1)
+            on_duration = float(buf[cursor]) * mean_on
+            cursor += 1
+            window_end = clock + on_duration
+            t_prev = clock
+            while True:
+                need = num_requests - produced
+                refill(min(need + 1, 1024))
+                want = min(buf.size - cursor, need + 1)
+                # Seed the cumsum with the running clock so each instant is
+                # built by the exact additions (((clock + g1) + g2) + ...)
+                # the scalar loop performed.
+                seg = np.empty(want + 1, dtype=np.float64)
+                seg[0] = t_prev
+                np.multiply(buf[cursor : cursor + want], gap_scale, out=seg[1:])
+                instants = np.cumsum(seg)[1:]
+                in_window = int(np.searchsorted(instants, window_end, side="right"))
+                if in_window < want:
+                    # The terminating draw (first instant past the window,
+                    # or the draw after the final requested arrival) is
+                    # inside this segment.
+                    usable = min(in_window, need)
+                    chunks.append(instants[:usable])
+                    produced += usable
+                    cursor += usable + 1
+                    break
+                if want == need + 1:
+                    # All need+1 draws land in the window: the final arrival
+                    # plus the draw consumed right after it.
+                    chunks.append(instants[:need])
+                    produced += need
+                    cursor += need + 1
+                    break
+                # Buffer exhausted mid-window: emit what we have and extend.
+                chunks.append(instants)
+                produced += want
+                cursor += want
+                if produced >= num_requests:
+                    # The final arrival was the segment's last draw; the
+                    # scalar loop still consumed one more gap draw after it.
+                    refill(1)
+                    cursor += 1
+                    break
+                t_prev = float(instants[-1])
+            refill(1)
+            off_duration = float(buf[cursor]) * mean_off
+            cursor += 1
+            clock = clock + (on_duration + off_duration)
+        return np.concatenate(chunks) if len(chunks) > 1 else chunks[0]
 
 
 class DiurnalArrivals(ArrivalProcess):
@@ -154,15 +257,42 @@ class DiurnalArrivals(ArrivalProcess):
     def times(self, num_requests: int) -> list[float]:
         if num_requests <= 0:
             return []
+        return self.times_array(num_requests).tolist()
+
+    def times_array(self, num_requests: int) -> np.ndarray:
+        """Lewis-Shedler thinning into a preallocated ndarray.
+
+        Thinning interleaves an exponential candidate draw with a uniform
+        accept draw per candidate, and the ziggurat exponential consumes a
+        *variable* number of raw words — so unlike Poisson and bursty there
+        is no way to pre-draw a block without shifting the bit stream.  The
+        loop therefore stays sequential (bit-for-bit the original), but
+        writes straight into a float64 array (no per-request Python list)
+        with the trigonometry hoisted to ``math.sin`` — the same libm call
+        ``np.sin`` makes for a scalar, at a fraction of the overhead.
+        """
+        if num_requests <= 0:
+            return np.empty(0, dtype=np.float64)
         rng = self._rng(self.amplitude, self.period_seconds)
+        exponential = rng.exponential
+        random = rng.random
+        sin = math.sin
         peak_rate = self.rate_rps * (1.0 + self.amplitude)
-        arrivals: list[float] = []
+        mean_scale = 1.0 / peak_rate
+        rate_rps = self.rate_rps
+        amplitude = self.amplitude
+        period = self.period_seconds
+        two_pi = 2.0 * np.pi
+        out = np.empty(num_requests, dtype=np.float64)
+        filled = 0
         t = 0.0
-        while len(arrivals) < num_requests:
-            t += rng.exponential(1.0 / peak_rate)
-            if rng.random() <= self._rate_at(t) / peak_rate:
-                arrivals.append(t)
-        return arrivals
+        while filled < num_requests:
+            t += exponential(mean_scale)
+            rate = rate_rps * (1.0 + amplitude * sin(two_pi * t / period))
+            if random() <= rate / peak_rate:
+                out[filled] = t
+                filled += 1
+        return out
 
 
 #: Registry of arrival-process kinds understood by the CLI and experiments.

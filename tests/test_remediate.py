@@ -288,3 +288,62 @@ class TestFaultRecoverySweep:
 
         with pytest.raises(ValueError, match="unknown fault kinds"):
             run_fault_recovery_sweep(kinds=("meteor",))
+
+
+# ---------------------------------------------------------------------------
+# Seed-7 pin: counter-delta SLO sampling is invisible to the controller
+# ---------------------------------------------------------------------------
+
+
+class TestCounterDeltaSamplingPin:
+    """The control loop once recomputed its per-window violation rate by
+    slicing the tier's ever-growing completed-outcome list each tick — an
+    O(n^2) term over a run.  It now reads two O(1) counter deltas
+    (``finished_total`` / ``slo_violations_total``, armed via
+    ``watch_slo_seconds``).  This pin asserts the refactor is decision-for-
+    decision invisible: the registry fault-recovery scenario at seed 7 must
+    reproduce the exact control trace the slicing implementation produced.
+    """
+
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return run(get_scenario("fault-recovery")).remediation
+
+    def test_control_trace_scalars(self, summary):
+        assert summary.ticks == 209
+        assert summary.anomalies_detected == 22
+        assert summary.actions_taken == 1
+        assert (summary.accepts, summary.rejects, summary.shadow_runs) == (1, 0, 1)
+        assert summary.final_shards == 3
+        assert summary.final_slots_per_function == 1
+        assert summary.final_router_kind == "jsq"
+        assert summary.final_shed_policy == "drop"
+
+    def test_the_single_actuation_record(self, summary):
+        (record,) = summary.records
+        assert record.time == 30.0
+        assert record.action == "add-shard"
+        assert record.accepted
+        assert record.forecast_p99_baseline == 152.72411809672255
+        assert record.forecast_p99_candidate == 89.41156230926515
+        assert record.forecast_goodput_baseline == 0.06336930511121812
+        assert record.forecast_goodput_candidate == 0.07361408835588372
+
+    def test_anomaly_stream_head_and_violation_rates(self, summary):
+        first = summary.anomalies[0]
+        assert (first.time, first.kind, first.value, first.baseline) == (
+            30.0,
+            "capacity-loss",
+            2.0,
+            3.0,
+        )
+        # The per-window violation *rates* are where the delta arithmetic
+        # could drift from the sliced lists; pin the only fractional one
+        # plus the exact firing instants of every slo-violation anomaly.
+        violations = [a for a in summary.anomalies if a.kind == "slo-violation"]
+        assert [a.time for a in violations] == [
+            165.0, 170.0, 175.0, 285.0, 290.0, 295.0, 485.0, 490.0, 495.0, 500.0,
+            680.0, 730.0, 800.0, 855.0, 860.0, 890.0, 900.0, 905.0, 915.0,
+            1040.0, 1045.0,
+        ]
+        assert [a.value for a in violations if a.value != 1.0] == [0.75]
