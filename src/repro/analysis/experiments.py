@@ -33,6 +33,7 @@ from repro.scenario import (
     AutoscalerSpec,
     FaultSpec,
     RemediationSpec,
+    ReplicationSpec,
     RunReport,
     ScenarioSpec,
     TierSpec,
@@ -867,6 +868,8 @@ def run_shard_sweep(
     max_queue_depth: int = 8,
     shed_policy: str = "drop",
     router_kind: str = "consistent-hash",
+    replication_factor: int = 1,
+    replication_policy: str = "none",
     slo_multiplier: float = 3.0,
     workers: int | None = None,
 ) -> dict:
@@ -903,6 +906,7 @@ def run_shard_sweep(
         tier=TierSpec(
             router_kind=router_kind,
             admission=AdmissionSpec(max_queue_depth=max_queue_depth, shed_policy=shed_policy),
+            replication=ReplicationSpec(factor=replication_factor, policy=replication_policy),
         ),
         slo_multiplier=slo_multiplier,
         mean_service_seconds=mean_service,

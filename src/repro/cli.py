@@ -34,6 +34,8 @@ from repro.analysis.tables import format_table
 from repro.config import SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.engine.faults import FAULT_KINDS
+from repro.engine.sharded import REPLICATION_POLICIES
+from repro.engine.vectorized import explain_fast_path
 from repro.routing import ROUTER_KINDS
 from repro.scenario import (
     ScenarioSpec,
@@ -149,6 +151,19 @@ _SWEEP_FLAGS: dict[str, _SweepFlag] = {
             "--router", "tier.router_kind", str, "key-to-shard placement", choices=ROUTER_KINDS
         ),
         _SweepFlag(
+            "--replication-factor",
+            "tier.replication.factor",
+            int,
+            "shards holding each hot key (primary included; 1 = no extra copies)",
+        ),
+        _SweepFlag(
+            "--replication-policy",
+            "tier.replication.policy",
+            str,
+            "which keys get replicated across shards",
+            choices=REPLICATION_POLICIES,
+        ),
+        _SweepFlag(
             "--start-shards",
             "tier.shards",
             int,
@@ -204,6 +219,8 @@ _SWEEP_COMMAND_FLAGS: dict[str, dict[str, Any]] = {
         "--max-queue-depth": 8,
         "--shed-policy": "drop",
         "--router": "consistent-hash",
+        "--replication-factor": 1,
+        "--replication-policy": "none",
     },
     "run-autoscale": {
         "--rounds": 12,
@@ -412,6 +429,13 @@ def _run_scenario_command(args) -> int:
             spec = apply_overrides(spec, overrides)
         if args.smoke:
             spec = smoke_spec(spec)
+            reasons = explain_fast_path(spec)
+            if reasons:
+                print("fast path: event path —")
+                for reason in reasons:
+                    print(f"  - {reason}")
+            else:
+                print("fast path: eligible (vectorized)")
         axes: dict[str, list] = {}
         for item in args.axes:
             key, sep, values = item.partition("=")
@@ -588,6 +612,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_queue_depth=args.max_queue_depth,
                 shed_policy=args.shed_policy,
                 router_kind=args.router,
+                replication_factor=args.replication_factor,
+                replication_policy=args.replication_policy,
                 workers=workers,
             )
         print(format_table(result["rows"], columns=columns, title=title))

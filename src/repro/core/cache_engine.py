@@ -84,6 +84,24 @@ class CacheEngine:
         self._enforce_capacity()
         return report
 
+    def ingest_round_cold(self, record: RoundRecord, now: float = 0.0) -> IngestReport:
+        """Register and back up a round without touching the cache plane.
+
+        The catch-up path of a replica-warmed shard join uses this: the
+        joining shard must know every round (catalog) and every object must
+        be durable (persistent store), but cache placement is covered by the
+        scheduled replica warm events — running the policy here would ingest
+        the same bytes twice.
+        """
+        self.catalog.register_round(record)
+        report = IngestReport(round_id=record.round_id)
+        backup_cost = CostAccumulator()
+        for key, value in record.objects():
+            result = self.persistent_store.put(key, value, size_bytes=payload_size_bytes(value))
+            backup_cost.add(result.cost)
+        report.backup_cost = backup_cost.finalize()
+        return report
+
     def _apply_admissions(
         self, keys: list[DataKey], record: RoundRecord, now: float
     ) -> tuple[LatencyBreakdown, int]:

@@ -144,6 +144,17 @@ class FLStore:
         self.ingest_cost = self.ingest_cost + report.backup_cost
         return report
 
+    def ingest_round_cold(self, record: RoundRecord) -> IngestReport:
+        """Register and back up a round without populating the cache.
+
+        Used by replica-warmed shard joins, where cache placement arrives via
+        scheduled warm events instead of the ingest policy (see
+        :meth:`repro.core.cache_engine.CacheEngine.ingest_round_cold`).
+        """
+        report = self.engine.ingest_round_cold(record, now=self.clock.now())
+        self.ingest_cost = self.ingest_cost + report.backup_cost
+        return report
+
     # ---------------------------------------------------------------- serve
 
     def make_request(

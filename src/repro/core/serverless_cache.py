@@ -97,6 +97,15 @@ class ServerlessCacheCluster:
         self._lost: dict[DataKey, None] = {}
         #: Running sum of ``self._sizes`` values.
         self._tracked_bytes: int = 0
+        # ---- tier-replica accounting --------------------------------------
+        #: Keys this cluster holds as *tier replicas*: read-only copies of
+        #: data owned by another shard (hot-key replication / warm joins).
+        #: Distinct from the within-shard function replicas above — a tier
+        #: replica is a whole extra cached copy on another shard's cluster,
+        #: so fleet-wide byte accounting must not count it as owned data.
+        self._tier_replicas: set[DataKey] = set()
+        #: Running sum of ``self._sizes`` over ``self._tier_replicas``.
+        self._replica_bytes: int = 0
         platform.add_reclamation_listener(self._on_function_reclaimed)
 
     # ------------------------------------------------------------- placement
@@ -125,8 +134,22 @@ class ServerlessCacheCluster:
             else:
                 keys.add(key)
 
-    def place(self, key: DataKey, value: Any, size_bytes: int, now: float = 0.0) -> PlacementResult:
-        """Cache ``value`` under ``key`` on a primary function plus replicas."""
+    def place(
+        self,
+        key: DataKey,
+        value: Any,
+        size_bytes: int,
+        now: float = 0.0,
+        tier_replica: bool = False,
+    ) -> PlacementResult:
+        """Cache ``value`` under ``key`` on a primary function plus replicas.
+
+        ``tier_replica`` marks the copy as replicated-in from another shard:
+        it is excluded from :attr:`owned_cached_bytes` /
+        :attr:`owned_live_key_count` so fleet-wide sums never double-count,
+        and :meth:`is_live` can be asked to ignore it.  Re-placing the key
+        without the flag promotes it to an owned copy.
+        """
         # Spawns (and thus nonzero latencies) are rare; summing only the
         # nonzero breakdowns is exact (adding a zero breakdown is a float
         # no-op) and skips an accumulator allocation per placement.
@@ -177,6 +200,9 @@ class ServerlessCacheCluster:
         self._replicas[key] = replicas
         self._sizes[key] = size_bytes
         self._tracked_bytes += size_bytes
+        if tier_replica:
+            self._tier_replicas.add(key)
+            self._replica_bytes += size_bytes
         self._index_placement(key, primary.function_id, replicas)
         return PlacementResult(
             key=key,
@@ -250,9 +276,20 @@ class ServerlessCacheCluster:
                 resolved[key] = ResolveResult(key, holder, holder != primary_id)
         return resolved
 
-    def is_live(self, key: DataKey) -> bool:
-        """Whether a live copy of ``key`` exists (no result object allocated)."""
-        return self._holder.get(key) is not None
+    def is_live(self, key: DataKey, include_replicas: bool = True) -> bool:
+        """Whether a live copy of ``key`` exists (no result object allocated).
+
+        With ``include_replicas=False``, a key held only as a tier replica
+        reports not-live — the shape ownership checks want when deciding
+        whether *this* shard owns the data or merely mirrors it.
+        """
+        if self._holder.get(key) is None:
+            return False
+        return include_replicas or key not in self._tier_replicas
+
+    def is_tier_replica(self, key: DataKey) -> bool:
+        """Whether ``key`` is held as a tier replica (replicated-in copy)."""
+        return key in self._tier_replicas
 
     def contains(self, key: DataKey) -> bool:
         """Whether a live copy of ``key`` exists in the cache (alias of :meth:`is_live`)."""
@@ -293,6 +330,9 @@ class ServerlessCacheCluster:
         """Drop every record of ``key`` from the maps and the liveness index."""
         if self._primary.pop(key, None) is not None:
             self._tracked_bytes -= self._sizes.get(key, 0)
+        if key in self._tier_replicas:
+            self._tier_replicas.discard(key)
+            self._replica_bytes -= self._sizes.get(key, 0)
         self._replicas.pop(key, None)
         self._sizes.pop(key, None)
         self._live_copies.pop(key, None)
@@ -331,6 +371,20 @@ class ServerlessCacheCluster:
         return self._tracked_bytes
 
     @property
+    def replica_cached_bytes(self) -> int:
+        """Bytes held as tier replicas (copies of data owned elsewhere)."""
+        return self._replica_bytes
+
+    @property
+    def owned_cached_bytes(self) -> int:
+        """Bytes this cluster owns outright (tier replicas excluded).
+
+        Fleet-wide sums use this so a key replicated onto R shards still
+        counts its bytes exactly once — on the owning shard.
+        """
+        return self._tracked_bytes - self._replica_bytes
+
+    @property
     def live_key_count(self) -> int:
         """Number of keys with at least one live cached copy.
 
@@ -339,6 +393,18 @@ class ServerlessCacheCluster:
         entries rather than index size.
         """
         return sum(1 for copies in self._live_copies.values() if copies)
+
+    @property
+    def owned_live_key_count(self) -> int:
+        """Live keys this cluster owns (tier replicas excluded)."""
+        replicas = self._tier_replicas
+        return sum(1 for key, copies in self._live_copies.items() if copies and key not in replicas)
+
+    @property
+    def replica_live_key_count(self) -> int:
+        """Live keys this cluster holds only as tier replicas."""
+        replicas = self._tier_replicas
+        return sum(1 for key, copies in self._live_copies.items() if copies and key in replicas)
 
     def primary_function_of(self, key: DataKey) -> str | None:
         """Primary placement of ``key`` (even if currently reclaimed)."""

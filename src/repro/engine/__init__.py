@@ -61,12 +61,17 @@ from repro.engine.remediate import (
     RemediationRecord,
     RemediationSummary,
 )
-from repro.engine.sharded import ShardedEngineFLStore, merge_depth_samples
+from repro.engine.sharded import (
+    REPLICATION_POLICIES,
+    ShardedEngineFLStore,
+    merge_depth_samples,
+)
 
 __all__ = [
     "AUTOSCALER_KINDS",
     "FAULT_KINDS",
     "REMEDIATION_ACTIONS",
+    "REPLICATION_POLICIES",
     "Anomaly",
     "AutoscaleConfig",
     "AutoscaleSummary",

@@ -326,6 +326,11 @@ class ScaleEvent:
     shards: int
     slots_per_function: int
     capacity_units: int
+    #: Replica copies warmed by scheduled events so far (hot-key replication
+    #: tiers only; 0 otherwise).  A ``shard-added`` event on a replicated
+    #: tier is a *warm* join — the delta between consecutive events shows
+    #: how much of the join was seeded from replicas rather than served cold.
+    replica_warm_events: int = 0
 
 
 @dataclass
@@ -343,6 +348,8 @@ class AutoscaleSummary:
     capacity_unit_seconds: float
     provisioned_gb_seconds: float
     warm_capacity_cost_dollars: float
+    #: Replica copies warmed over the run (hot-key replication tiers only).
+    replica_warm_events: int = 0
     events: list[ScaleEvent] = field(default_factory=list, repr=False)
 
     def row(self) -> dict:
@@ -574,6 +581,7 @@ class Autoscaler:
                 shards=tier.num_shards,
                 slots_per_function=tier.slots_per_function,
                 capacity_units=tier.capacity_units,
+                replica_warm_events=getattr(tier, "replica_warm_events", 0),
             )
         )
 
@@ -599,5 +607,6 @@ class Autoscaler:
             capacity_unit_seconds=self.capacity_unit_seconds,
             provisioned_gb_seconds=self.provisioned_gb_seconds,
             warm_capacity_cost_dollars=self.warm_capacity_cost_dollars,
+            replica_warm_events=getattr(self.tier, "replica_warm_events", 0),
             events=list(self.events),
         )

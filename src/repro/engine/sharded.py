@@ -43,6 +43,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.cloud.payload import payload_size_bytes
 from repro.common.errors import ConfigurationError
 from repro.config import SHED_POLICIES
 from repro.core.flstore import FLStore, ServeResult, build_default_flstore
@@ -54,10 +55,18 @@ from repro.engine.flstore import (
 )
 from repro.engine.kernel import EventLoop, SimTask
 from repro.engine.streaming import StreamingLoadCollector, check_metrics_mode
-from repro.routing import ShardRouter, make_router
+from repro.routing import ShardRouter, make_router, request_routing_key, stable_hash_u64
 from repro.serverless.faults import ZipfianFaultInjector
 from repro.simulation.records import CostAccumulator, LatencyAccumulator
 from repro.workloads.base import WorkloadRequest
+from repro.workloads.registry import get_workload
+
+#: Replication policies understood by the front door.  ``"none"`` keeps the
+#: tier byte-identical to the pre-replication behaviour; ``"hot-static"``
+#: replicates the statically known hot key (cross-client requests against the
+#: latest round — the P1 pattern); ``"hot-tracked"`` replicates any routing
+#: key whose observed arrival count reaches the hot threshold.
+REPLICATION_POLICIES: tuple[str, ...] = ("none", "hot-static", "hot-tracked")
 
 
 def merge_depth_samples(
@@ -124,6 +133,20 @@ class ShardedEngineFLStore:
         Round records already ingested into ``flstores`` before the tier was
         built (e.g. by ``prepare_setup``); replayed into shards added later
         so they serve from the same catalog.
+    replication_factor / replication_policy / hot_threshold:
+        Hot-key replication (read-only).  With a policy other than
+        ``"none"``, a hot routing key's data is replicated onto its
+        ``replication_factor`` ring-successor shards (primary included in
+        the count) via scheduled warm events — each replica key pays its own
+        cold start plus persistent fetch, so concurrent cold starts overlap
+        as real processes on the timeline — and arrivals for the key are
+        served from any active shard whose replica is fully live (JSQ picks
+        the least-loaded live holder; hash routers pick deterministically by
+        request id).  ``"hot-static"`` replicates the canonical P1 hot key
+        (cross-client, latest round); ``"hot-tracked"`` promotes any key
+        after ``hot_threshold`` observed arrivals.  Replication also warms
+        shard joins: :meth:`add_shard` seeds the joining shard from live
+        replicas instead of replaying the round log into its cache cold.
     """
 
     system_name = "sharded-engine-flstore"
@@ -139,6 +162,9 @@ class ShardedEngineFLStore:
         shed_policy: str | None = None,
         shard_factory: Callable[[], FLStore] | None = None,
         warm_rounds: Sequence[object] | None = None,
+        replication_factor: int = 1,
+        replication_policy: str = "none",
+        hot_threshold: int = 8,
     ) -> None:
         flstores = list(flstores)
         if not flstores:
@@ -153,6 +179,34 @@ class ShardedEngineFLStore:
         injectors = list(fault_injectors) if fault_injectors is not None else [None] * len(flstores)
         if len(injectors) != len(flstores):
             raise ValueError("fault_injectors must match the shard count")
+        if replication_policy not in REPLICATION_POLICIES:
+            raise ConfigurationError(
+                f"unknown replication policy {replication_policy!r}; "
+                f"expected one of {REPLICATION_POLICIES}"
+            )
+        if replication_factor < 1:
+            raise ConfigurationError(
+                f"replication_factor must be at least 1, got {replication_factor}"
+            )
+        if hot_threshold < 1:
+            raise ConfigurationError(f"hot_threshold must be at least 1, got {hot_threshold}")
+        self.replication_factor = int(replication_factor)
+        self.replication_policy = replication_policy
+        self.hot_threshold = int(hot_threshold)
+        self._replication_enabled = replication_policy != "none"
+        #: Routing key -> shard indices holding (or warming) its replicas,
+        #: primary (ring owner) first.
+        self._replica_holders: dict[int, list[int]] = {}
+        #: Routing key -> data keys covered by its replicas so far.
+        self._replica_keys: dict[int, tuple] = {}
+        #: ``(routing key, workload)`` pairs whose data keys were resolved.
+        self._warmed_markers: set[tuple[int, str]] = set()
+        #: Arrival counts per routing key (``hot-tracked`` policy only).
+        self._hot_counts: dict[int, int] = {}
+        #: Replica copies that finished warming (per-key placement events).
+        self.replica_warm_events = 0
+        #: Hot-key arrivals served by a non-primary replica holder.
+        self.replica_hits = 0
         self._max_queue_depth = max_queue_depth
         self._shed_policy = shed_policy
         self._reclamation_interval = reclamation_interval_seconds
@@ -303,8 +357,7 @@ class ShardedEngineFLStore:
 
         def _admit() -> None:
             self.arrived_requests += 1
-            slot = self.router.route_request(request)
-            shard_index = self._active[slot]
+            shard_index = self._route(request)
             self.routed_counts[shard_index] += 1
             shard_task = self.shards[shard_index].submit(
                 request, at=self.loop.now, priority=priority
@@ -366,8 +419,7 @@ class ShardedEngineFLStore:
         def _admit(index: int) -> None:
             request = requests[index]
             self.arrived_requests += 1
-            slot = self.router.route_request(request)
-            shard_index = self._active[slot]
+            shard_index = self._route(request)
             self.routed_counts[shard_index] += 1
             priority = priorities[index] if priorities is not None else 0.0
             shard_task = self.shards[shard_index].submit(
@@ -384,6 +436,158 @@ class ShardedEngineFLStore:
 
     def _has_inflight(self) -> bool:
         return self._inflight > 0
+
+    # -------------------------------------------------- hot-key replication
+
+    def _route(self, request: WorkloadRequest) -> int:
+        """The shard index an arrival lands on (replication-aware).
+
+        With replication off this is exactly the router's verdict over the
+        active set — byte-identical to the pre-replication front door.
+        """
+        if not self._replication_enabled:
+            return self._active[self.router.route_request(request)]
+        key = request_routing_key(request)
+        if not self._is_hot(request, key):
+            return self._active[self.router.route(key)]
+        holders = self._replica_holders.get(key)
+        if holders is None:
+            wanted = min(self.replication_factor, len(self._active))
+            holders = [self._active[slot] for slot in self.router.replica_slots(key, wanted)]
+            self._replica_holders[key] = holders
+            self._replica_keys[key] = ()
+        marker = (key, request.workload)
+        if marker not in self._warmed_markers:
+            self._warmed_markers.add(marker)
+            workload = get_workload(request.workload)
+            data_keys = tuple(workload.required_keys(request, self.catalog))
+            known = self._replica_keys[key]
+            fresh = tuple(data_key for data_key in data_keys if data_key not in known)
+            self._replica_keys[key] = known + fresh
+            for shard_index in holders[1:]:
+                self._warm_shard(shard_index, fresh)
+        return self._pick_holder(key, request, holders)
+
+    def _is_hot(self, request: WorkloadRequest, key: int) -> bool:
+        """Whether ``key`` is (or just became) a replicated hot key."""
+        if key in self._replica_holders:
+            return True
+        if self.replication_policy == "hot-static":
+            # The canonical P1 pattern: every client asks for the latest
+            # round's aggregate — one routing key carries the whole wave.
+            return request.client_id is None and request.round_id == self.catalog.latest_round
+        count = self._hot_counts.get(key, 0) + 1
+        self._hot_counts[key] = count
+        return count >= self.hot_threshold
+
+    def _warm_shard(self, shard_index: int, data_keys: Sequence) -> None:
+        """Schedule replica warm events for ``data_keys`` onto one shard.
+
+        Each key fetches its value from the shard's persistent store and
+        arrives in cache after a cold start plus the fetch latency — its own
+        scheduled event, so a warmup burst is a set of *overlapping* spawn
+        processes on the virtual timeline, not one analytic latency.  The
+        fetch cost is charged to the shard's background (ingest) accounting,
+        matching how round replays are billed.
+        """
+        shard = self.shards[shard_index]
+        flstore = shard.flstore
+        cluster = flstore.cluster
+        cold_start = self.config.serverless.cold_start_seconds
+        for data_key in data_keys:
+            if cluster.is_live(data_key):
+                continue
+            fetch_latency, fetch_cost, value = flstore._fetch_from_persistent(data_key)
+            if value is None:
+                continue
+            flstore.ingest_cost = flstore.ingest_cost + fetch_cost
+            size = payload_size_bytes(value)
+            delay = cold_start + fetch_latency.total_seconds
+
+            def _arrive(key=data_key, value=value, size=size, cluster=cluster) -> None:
+                if cluster.is_live(key):
+                    return
+                try:
+                    cluster.place(key, value, size, now=self.loop.now, tier_replica=True)
+                except Exception:
+                    return  # no capacity: the copy stays cold, routing skips it
+                self.replica_warm_events += 1
+
+            self.loop.schedule(delay, _arrive)
+
+    def _replica_live(self, shard_index: int, key: int) -> bool:
+        """Whether every data key replicated for ``key`` is live on the shard."""
+        data_keys = self._replica_keys.get(key, ())
+        if not data_keys:
+            return False
+        cluster = self.shards[shard_index].flstore.cluster
+        return all(cluster.is_live(data_key) for data_key in data_keys)
+
+    def _pick_holder(self, key: int, request: WorkloadRequest, holders: list[int]) -> int:
+        """Pick the serving shard for a replicated hot key.
+
+        Only *live* holders are candidates: the primary (ring owner) always
+        is — it pays its own misses like any routed arrival — while a
+        replica holder qualifies once every replicated data key is live on
+        it.  Load-aware routers pick the least-loaded live holder (ties
+        prefer placement order); plain hash routers spread deterministically
+        by request id, so fixed seeds stay stable.
+        """
+        primary = holders[0]
+        live = [
+            index
+            for index in holders
+            if index in self._active and (index == primary or self._replica_live(index, key))
+        ]
+        if not live:
+            # The primary itself was retired and nothing is warm yet: fall
+            # back to plain ring routing over the active set.
+            return self._active[self.router.route(key)]
+        if len(live) == 1:
+            chosen = live[0]
+        elif hasattr(self.router, "bind_load_probe"):
+            chosen = live[0]
+            best_load = self.shards[chosen].outstanding
+            for index in live[1:]:
+                load = self.shards[index].outstanding
+                if load < best_load:
+                    chosen, best_load = index, load
+        else:
+            chosen = live[stable_hash_u64(request.request_id) % len(live)]
+        if chosen != primary:
+            self.replica_hits += 1
+        return chosen
+
+    def _refresh_replicas(self) -> None:
+        """Recompute hot-key holder sets after a resize; warm new holders.
+
+        The replica set follows the ring: after a resize each hot key's
+        holders are its successor shards on the *new* ring, so a joining
+        shard that now owns (or backs up) a hot key is seeded from the
+        persistent store via warm events — the replica-warmed join.  Shards
+        that dropped out of a holder set keep their copies until reclamation
+        collects them; routing simply stops considering them.
+        """
+        if not self._replication_enabled:
+            return
+        for key, data_keys in self._replica_keys.items():
+            wanted = min(self.replication_factor, len(self._active))
+            holders = [self._active[slot] for slot in self.router.replica_slots(key, wanted)]
+            previous = self._replica_holders.get(key, [])
+            for shard_index in holders:
+                if shard_index not in previous:
+                    self._warm_shard(shard_index, data_keys)
+            self._replica_holders[key] = holders
+
+    @property
+    def replicated_keys(self) -> int:
+        """Routing keys currently tracked as replicated hot keys."""
+        return len(self._replica_holders)
+
+    @property
+    def replica_cached_bytes(self) -> int:
+        """Bytes held as tier replicas across every shard."""
+        return sum(shard.flstore.cluster.replica_cached_bytes for shard in self.shards)
 
     # ------------------------------------------------------ streaming hooks
 
@@ -452,14 +656,24 @@ class ShardedEngineFLStore:
         starts — is paid by the requests the rebuilt consistent-hash ring
         now routes to it (~1/(K+1) of the key space).
         """
+        # With replication on, the catch-up replay skips the cache plane
+        # entirely (cold ingest): every hot key the join should serve warm is
+        # covered by the replica warm events `_refresh_replicas` schedules
+        # below, and running the ingest policy as well would place the same
+        # bytes twice.  `_cold_join` is skipped for the same reason — a cold
+        # ingest warms no functions, so there is nothing to reclaim.
+        warm_join = self._replication_enabled
         if self._retired:
             index = self._retired.pop()
             shard = self.shards[index]
             missed = self._round_log[self._ingested_counts[index]:]
             for record in missed:
-                shard.ingest_round(record)
+                if warm_join:
+                    shard.flstore.ingest_round_cold(record)
+                else:
+                    shard.ingest_round(record)
             self._ingested_counts[index] = len(self._round_log)
-            if missed:
+            if missed and not warm_join:
                 self._cold_join(shard.flstore)
         else:
             if self._shard_factory is None:
@@ -468,8 +682,12 @@ class ShardedEngineFLStore:
                 )
             flstore = self._shard_factory()
             for record in self._round_log:
-                flstore.ingest_round(record)
-            self._cold_join(flstore)
+                if warm_join:
+                    flstore.ingest_round_cold(record)
+                else:
+                    flstore.ingest_round(record)
+            if not warm_join:
+                self._cold_join(flstore)
             shard = EngineFLStore(
                 flstore,
                 loop=self.loop,
@@ -493,6 +711,7 @@ class ShardedEngineFLStore:
         self._active.append(index)
         self.router = self.router.resized(len(self._active))
         self._bind_router()
+        self._refresh_replicas()
         if self._keepalive_active:
             shard.schedule_keepalive()
         if self._inflight > 0:
@@ -526,6 +745,7 @@ class ShardedEngineFLStore:
         self._bind_router()
         self.shards[index].retire()
         self._retired.append(index)
+        self._refresh_replicas()
         return index
 
     def crash_shard(self) -> int:
@@ -716,13 +936,23 @@ class ShardedEngineFLStore:
 
     @property
     def cached_bytes(self) -> int:
-        """Bytes of FL metadata resident across every shard's cache."""
-        return sum(shard.flstore.cached_bytes for shard in self.shards)
+        """Bytes of FL metadata resident across every shard's cache.
+
+        Tier replicas are excluded: a hot key replicated onto R shards
+        counts its bytes once, on the owning shard (see
+        :attr:`replica_cached_bytes` for the replicated copies).  Identical
+        to the plain per-shard sum when replication is off.
+        """
+        return sum(shard.flstore.cluster.owned_cached_bytes for shard in self.shards)
 
     @property
     def live_key_count(self) -> int:
-        """Keys with a live cached copy, summed over the tier."""
-        return sum(shard.flstore.cluster.live_key_count for shard in self.shards)
+        """Keys with a live cached copy, summed over the tier.
+
+        Counts owned copies only, so a key live on its owner and on two
+        replica holders is one live key fleet-wide.
+        """
+        return sum(shard.flstore.cluster.owned_live_key_count for shard in self.shards)
 
     @property
     def warm_function_count(self) -> int:
@@ -768,8 +998,10 @@ class ShardedEngineFLStore:
                 "shed": shard.shed_requests,
                 "degraded": shard.degraded_requests,
                 "requeued": shard.requeued_requests,
-                "cached_bytes": shard.flstore.cached_bytes,
-                "live_keys": shard.flstore.cluster.live_key_count,
+                "cached_bytes": shard.flstore.cluster.owned_cached_bytes,
+                "live_keys": shard.flstore.cluster.owned_live_key_count,
+                "replica_bytes": shard.flstore.cluster.replica_cached_bytes,
+                "replica_keys": shard.flstore.cluster.replica_live_key_count,
                 "warm_functions": shard.flstore.warm_function_count,
             }
             for index, shard in enumerate(self.shards)

@@ -69,15 +69,40 @@ def fast_path_eligible(spec) -> bool:
     faults, autoscaler, or remediation controller mutating the tier
     mid-run), and streaming metrics (the fast path retains no rows).
     """
-    return (
-        spec.metrics == "streaming"
-        and not spec.tier.sharded
-        and spec.tier.queue_discipline == "fifo"
-        and spec.tier.admission.max_queue_depth == 0
-        and not spec.faults
-        and not spec.remediation.enabled
-        and not spec.tier.autoscaler.enabled
-    )
+    return not explain_fast_path(spec)
+
+
+def explain_fast_path(spec) -> list[str]:
+    """The knobs disqualifying ``spec`` from the fast path (empty = eligible).
+
+    The event-path fallback is silent by design (the run is still correct,
+    just slower); this is the diagnostic surface — ``run-scenario --smoke``
+    prints it, so a spec author can see exactly which knob keeps a scenario
+    off the vectorized path.  Reasons mirror :func:`fast_path_eligible`'s
+    conditions one-for-one, in the same order.
+    """
+    reasons: list[str] = []
+    if spec.metrics != "streaming":
+        reasons.append(f'metrics={spec.metrics!r} retains rows (needs "streaming")')
+    if spec.tier.sharded:
+        reasons.append(f"tier.router_kind={spec.tier.router_kind!r} builds a sharded front door")
+    if spec.tier.queue_discipline != "fifo":
+        reasons.append(
+            f"tier.queue_discipline={spec.tier.queue_discipline!r} reorders the queue "
+            '(needs "fifo")'
+        )
+    if spec.tier.admission.max_queue_depth != 0:
+        reasons.append(
+            f"tier.admission.max_queue_depth={spec.tier.admission.max_queue_depth} bounds "
+            "admission (needs 0 = unbounded)"
+        )
+    if spec.faults:
+        reasons.append(f"{len(spec.faults)} fault clause(s) mutate the tier mid-run")
+    if spec.remediation.enabled:
+        reasons.append("remediation.enabled attaches the repair control loop")
+    if spec.tier.autoscaler.enabled:
+        reasons.append("tier.autoscaler.enabled resizes the tier mid-run")
+    return reasons
 
 
 def _class_table(catalog, workload_names):

@@ -99,6 +99,20 @@ class ShardRouter(abc.ABC):
         """Shard index for a workload request (routes by its data affinity)."""
         return self.route(request_routing_key(request))
 
+    def replica_slots(self, key: int, count: int) -> list[int]:
+        """The ``count`` distinct slots holding replicas of ``key``, primary first.
+
+        Used by hot-key replication: slot 0 of the result is always
+        :meth:`route`'s answer (the primary owner), and the remainder are the
+        key's successor slots.  The default walks slots consecutively, which
+        is the natural successor set for modulo placement; ring routers
+        override this with the clockwise vnode walk so replicas land exactly
+        where a resize would move the key (caches stay warm across resizes).
+        """
+        wanted = min(int(count), self.num_shards)
+        primary = self.route(key)
+        return [(primary + step) % self.num_shards for step in range(wanted)]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(num_shards={self.num_shards})"
 
@@ -146,6 +160,30 @@ class ConsistentHashRouter(ShardRouter):
             index = 0
         return self._ring_shards[index]
 
+    def _ring_successors(self, key: int, wanted: int) -> list[int]:
+        """First ``wanted`` distinct shards clockwise from the key's ring point."""
+        point = stable_hash_u64(f"key-{key}")
+        index = bisect.bisect_right(self._ring_points, point)
+        ring_size = len(self._ring_shards)
+        found: list[int] = []
+        for step in range(ring_size):
+            shard = self._ring_shards[(index + step) % ring_size]
+            if shard not in found:
+                found.append(shard)
+                if len(found) == wanted:
+                    break
+        return found
+
+    def replica_slots(self, key: int, count: int) -> list[int]:
+        """Replica slots on the ring: the key's successor shards, primary first.
+
+        Placing replicas on the clockwise successors means a shard removal
+        hands each key to a slot that already holds its replica — the same
+        property that makes consistent hashing resize-friendly for primaries
+        extends to the replica set.
+        """
+        return self._ring_successors(key, min(int(count), self.num_shards))
+
 
 class JoinShortestQueueRouter(ConsistentHashRouter):
     """Join-shortest-queue placement over each key's ring affinity candidates.
@@ -187,18 +225,7 @@ class JoinShortestQueueRouter(ConsistentHashRouter):
 
     def candidates(self, key: int) -> list[int]:
         """The key's affinity candidates: first ``fanout`` distinct ring owners."""
-        point = stable_hash_u64(f"key-{key}")
-        index = bisect.bisect_right(self._ring_points, point)
-        ring_size = len(self._ring_shards)
-        wanted = min(self.fanout, self.num_shards)
-        found: list[int] = []
-        for step in range(ring_size):
-            shard = self._ring_shards[(index + step) % ring_size]
-            if shard not in found:
-                found.append(shard)
-                if len(found) == wanted:
-                    break
-        return found
+        return self._ring_successors(key, min(self.fanout, self.num_shards))
 
     def route(self, key: int) -> int:
         candidates = self.candidates(key)

@@ -40,6 +40,7 @@ from repro.scenario.spec import (
     AutoscalerSpec,
     FaultSpec,
     RemediationSpec,
+    ReplicationSpec,
     ScenarioSpec,
     ScenarioValidationError,
     TierSpec,
@@ -57,6 +58,7 @@ __all__ = [
     "AutoscalerSpec",
     "FaultSpec",
     "RemediationSpec",
+    "ReplicationSpec",
     "RunReport",
     "ScenarioSpec",
     "ScenarioValidationError",

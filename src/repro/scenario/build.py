@@ -201,6 +201,9 @@ def build_tier(spec: ScenarioSpec) -> Tier:
             router=make_router(spec.tier.router_kind, spec.tier.shards),
             shard_factory=lambda: build_default_flstore(config),
             warm_rounds=setups[0].rounds,
+            replication_factor=spec.tier.replication.factor,
+            replication_policy=spec.tier.replication.policy,
+            hot_threshold=spec.tier.replication.hot_threshold,
         )
         if spec.tier.autoscaler.enabled:
             autoscale_config = AutoscaleConfig(
@@ -214,6 +217,9 @@ def build_tier(spec: ScenarioSpec) -> Tier:
         store = ShardedEngineFLStore(
             [setup.flstore for setup in setups],
             router=make_router(spec.tier.router_kind, spec.tier.shards),
+            replication_factor=spec.tier.replication.factor,
+            replication_policy=spec.tier.replication.policy,
+            hot_threshold=spec.tier.replication.hot_threshold,
         )
     fault_plan = None
     if spec.faults:
@@ -336,6 +342,13 @@ class RunReport:
     #: Requests routed to the hottest shard (``None`` for plain topologies):
     #: the hot-key imbalance measure the router comparison reads.
     max_shard_routed: int | None = None
+    #: Hot-key replication accounting (replication-enabled tiers only):
+    #: tracked hot keys, bytes held as tier replicas, arrivals served by a
+    #: non-primary holder, and replica copies warmed by scheduled events.
+    replicated_keys: int | None = None
+    replica_bytes: int | None = None
+    replica_hits: int | None = None
+    replica_warm_events: int | None = None
     autoscale: AutoscaleSummary | None = None
     #: Fault accounting (``FaultPlan.summary()``), faulted runs only.
     faults: dict | None = None
@@ -360,6 +373,11 @@ class RunReport:
             row["cached_bytes"] = self.cached_bytes
             row["live_keys"] = self.live_keys
             row["warm_functions"] = self.warm_functions
+        if self.replicated_keys is not None:
+            row["replicated_keys"] = self.replicated_keys
+            row["replica_bytes"] = self.replica_bytes
+            row["replica_hits"] = self.replica_hits
+            row["replica_warm_events"] = self.replica_warm_events
         if self.autoscale is not None:
             row.update(
                 {k: v for k, v in self.autoscale.row().items() if k != "autoscaler"}
@@ -439,11 +457,19 @@ def run(spec: ScenarioSpec) -> RunReport:
             f"!= {report.submitted} offered"
         )
     store = tier.store
+    replication_row: dict = {}
     if tier.sharded:
         max_shard_routed = max(store.routed_counts)
         cached_bytes = store.cached_bytes
         live_keys = store.live_key_count
         warm_functions = store.warm_function_count
+        if spec.tier.replication.enabled:
+            replication_row = {
+                "replicated_keys": store.replicated_keys,
+                "replica_bytes": store.replica_cached_bytes,
+                "replica_hits": store.replica_hits,
+                "replica_warm_events": store.replica_warm_events,
+            }
     else:
         max_shard_routed = None
         cached_bytes = store.flstore.cached_bytes
@@ -469,6 +495,7 @@ def run(spec: ScenarioSpec) -> RunReport:
         live_keys=live_keys,
         warm_functions=warm_functions,
         max_shard_routed=max_shard_routed,
+        **replication_row,
         autoscale=tier.autoscaler.summary() if tier.autoscaler is not None else None,
         faults=tier.fault_plan.summary() if tier.fault_plan is not None else None,
         remediation=tier.remediation.summary() if tier.remediation is not None else None,

@@ -21,6 +21,7 @@ from repro.scenario.spec import (
     AutoscalerSpec,
     FaultSpec,
     RemediationSpec,
+    ReplicationSpec,
     ScenarioSpec,
     TierSpec,
     WorkloadMixSpec,
@@ -101,6 +102,22 @@ for _spec in (
             shards=4,
             router_kind="jsq",
             admission=AdmissionSpec(max_queue_depth=6, shed_policy="degrade-to-objstore"),
+        ),
+    ),
+    # The jsq-hotkey mix with hot-key replication: the P1 hot key is served
+    # from two shards holding live replicas, so the hot shard's cache stops
+    # being the throughput ceiling (compare max_shard_routed and p99 against
+    # jsq-hotkey, or sweep tier.replication.factor=1,2).
+    ScenarioSpec(
+        name="hotkey-replicated",
+        num_rounds=8,
+        workload=WorkloadMixSpec(workloads=("inference", "scheduling_perf"), num_requests=64),
+        arrival=ArrivalSpec(kind="bursty", utilization=2.0),
+        tier=TierSpec(
+            shards=4,
+            router_kind="jsq",
+            admission=AdmissionSpec(max_queue_depth=6, shed_policy="degrade-to-objstore"),
+            replication=ReplicationSpec(factor=2, policy="hot-static"),
         ),
     ),
     # The resizable tier under a diurnal cycle, scaled ahead of the peak.

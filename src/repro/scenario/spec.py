@@ -36,6 +36,7 @@ from repro.common.errors import ConfigurationError
 from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.engine.faults import FAULT_KINDS
+from repro.engine.sharded import REPLICATION_POLICIES
 from repro.engine.streaming import METRICS_MODES
 from repro.fl.models import MODEL_ZOO
 from repro.routing import ROUTER_KINDS
@@ -165,6 +166,34 @@ class AdmissionSpec:
 
 
 @dataclass(frozen=True)
+class ReplicationSpec:
+    """Hot-key replication across the tier's shards (read-only copies).
+
+    ``policy="none"`` (the default) disables the machinery entirely — the
+    tier is byte-identical to a pre-replication build.  ``"hot-static"``
+    replicates the canonical P1 hot key (cross-client requests against the
+    latest round); ``"hot-tracked"`` promotes any routing key after
+    ``hot_threshold`` observed arrivals.  ``factor`` is the number of shards
+    holding the key (primary included), clamped to the active shard count.
+    """
+
+    factor: int = 1
+    policy: str = "none"
+    #: Arrival count at which ``hot-tracked`` promotes a routing key.
+    hot_threshold: int = 8
+
+    def __post_init__(self) -> None:
+        _coerce_int(self, "factor", minimum=1)
+        _check_choice(self, "policy", REPLICATION_POLICIES)
+        _coerce_int(self, "hot_threshold", minimum=1)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any replication machinery is active."""
+        return self.policy != "none"
+
+
+@dataclass(frozen=True)
 class AutoscalerSpec:
     """Whether (and how) an autoscaler drives the tier's warm capacity.
 
@@ -266,6 +295,7 @@ class TierSpec:
     queue_discipline: str = "fifo"
     admission: AdmissionSpec = field(default_factory=AdmissionSpec)
     autoscaler: AutoscalerSpec = field(default_factory=AutoscalerSpec)
+    replication: ReplicationSpec = field(default_factory=ReplicationSpec)
 
     def __post_init__(self) -> None:
         _coerce_int(self, "shards", minimum=1)
@@ -277,6 +307,8 @@ class TierSpec:
             _fail(f"TierSpec.admission must be an AdmissionSpec, got {self.admission!r}")
         if not isinstance(self.autoscaler, AutoscalerSpec):
             _fail(f"TierSpec.autoscaler must be an AutoscalerSpec, got {self.autoscaler!r}")
+        if not isinstance(self.replication, ReplicationSpec):
+            _fail(f"TierSpec.replication must be a ReplicationSpec, got {self.replication!r}")
         if self.router_kind is None and self.shards != 1:
             _fail(
                 f"a {self.shards}-shard tier needs a router; set tier.router_kind "
@@ -286,6 +318,11 @@ class TierSpec:
             _fail(
                 "an autoscaled tier must be sharded (the autoscaler actuates the "
                 f"routing front door); set tier.router_kind (one of {ROUTER_KINDS})"
+            )
+        if self.router_kind is None and self.replication.enabled:
+            _fail(
+                "hot-key replication needs a sharded tier (replicas live on the "
+                f"ring's successor shards); set tier.router_kind (one of {ROUTER_KINDS})"
             )
 
     @property
@@ -415,6 +452,11 @@ class ScenarioSpec:
                     "max_queue_depth": self.tier.admission.max_queue_depth,
                     "shed_policy": self.tier.admission.shed_policy,
                 },
+                "replication": {
+                    "factor": self.tier.replication.factor,
+                    "policy": self.tier.replication.policy,
+                    "hot_threshold": self.tier.replication.hot_threshold,
+                },
                 "autoscaler": {
                     "enabled": self.tier.autoscaler.enabled,
                     "policy": self.tier.autoscaler.policy,
@@ -462,7 +504,17 @@ class ScenarioSpec:
         autoscaler = _build_section(
             tier_tree.pop("autoscaler", {}), AutoscalerSpec, "tier.autoscaler"
         )
-        tier = _build_section(tier_tree, TierSpec, "tier", admission=admission, autoscaler=autoscaler)
+        replication = _build_section(
+            tier_tree.pop("replication", {}), ReplicationSpec, "tier.replication"
+        )
+        tier = _build_section(
+            tier_tree,
+            TierSpec,
+            "tier",
+            admission=admission,
+            autoscaler=autoscaler,
+            replication=replication,
+        )
         faults_tree = tree.pop("faults", [])
         if isinstance(faults_tree, Mapping) or not isinstance(faults_tree, Sequence):
             _fail(f"faults must be an array of tables/objects, got {faults_tree!r}")

@@ -57,6 +57,24 @@ def assert_index_consistent(cluster: ServerlessCacheCluster):
     assert cluster.total_cached_bytes == sum(cluster._sizes.values())
     expected_live = [k for k in cluster._primary if oracle_resolve(cluster, k)[0] is not None]
     assert cluster.cached_keys() == expected_live
+    # Tier-replica accounting: owned + replica views partition the totals,
+    # so fleet-wide sums over owned_* never double-count replicated bytes.
+    replica_bytes = sum(
+        size for key, size in cluster._sizes.items() if key in cluster._tier_replicas
+    )
+    assert cluster.replica_cached_bytes == replica_bytes
+    assert cluster.owned_cached_bytes == cluster.total_cached_bytes - replica_bytes
+    live = set(expected_live)
+    assert cluster.owned_live_key_count == sum(
+        1 for key in live if key not in cluster._tier_replicas
+    )
+    assert cluster.replica_live_key_count == sum(
+        1 for key in live if key in cluster._tier_replicas
+    )
+    for key in cluster._primary:
+        assert cluster.is_live(key, include_replicas=False) == (
+            cluster.is_live(key) and not cluster.is_tier_replica(key)
+        )
 
 
 @pytest.fixture()
@@ -96,6 +114,65 @@ class TestLivenessIndexProperty:
         assert set(cluster.drop_lost_keys()) == dead
         assert_index_consistent(cluster)
         assert all(cluster.is_live(k) for k in cluster._primary)
+
+    def test_tier_replica_accounting_matches_oracle_under_zipfian_faults(self):
+        """Random churn mixing owned and tier-replica placements keeps the
+        owned/replica byte split oracle-consistent — no double-counting."""
+        platform = ServerlessPlatform(ServerlessConfig(), PricingConfig())
+        cluster = ServerlessCacheCluster(platform, replication_factor=1)
+        injector = ZipfianFaultInjector(fault_rate=0.35, seed=41)
+        rng = np.random.default_rng(43)
+
+        live_keys: list[DataKey] = []
+        for step in range(120):
+            action = rng.random()
+            if action < 0.55 or not live_keys:
+                key = DataKey.update(int(rng.integers(0, 40)), int(rng.integers(0, 6)))
+                # ~40% of placements arrive as tier replicas; re-placing an
+                # existing replica without the flag must promote it to owned.
+                cluster.place(
+                    key,
+                    {"step": step},
+                    size_bytes=int(rng.integers(1, 64)) * MB,
+                    tier_replica=bool(rng.random() < 0.4),
+                )
+                if key not in live_keys:
+                    live_keys.append(key)
+            elif action < 0.75:
+                key = live_keys.pop(int(rng.integers(0, len(live_keys))))
+                cluster.evict(key)
+            else:
+                reclaimed = injector.sample_reclamations(cluster.function_ids())
+                for function_id in reclaimed:
+                    platform.reclaim_function(function_id)
+            assert_index_consistent(cluster)
+
+        # The churn must actually have exercised both sides of the split.
+        assert cluster.replica_cached_bytes > 0
+        assert cluster.owned_cached_bytes > 0
+        cluster.drop_lost_keys()
+        assert_index_consistent(cluster)
+
+    def test_replica_mark_cleared_on_eviction_and_promotion(self, platform):
+        cluster = ServerlessCacheCluster(platform, replication_factor=0)
+        key = DataKey.update(9, 0)
+        cluster.place(key, b"r", size_bytes=10 * MB, tier_replica=True)
+        assert cluster.is_tier_replica(key)
+        assert cluster.replica_cached_bytes == 10 * MB
+        assert cluster.owned_cached_bytes == 0
+        assert not cluster.is_live(key, include_replicas=False)
+        # Re-placing without the flag promotes the copy to owned.
+        cluster.place(key, b"o", size_bytes=10 * MB)
+        assert not cluster.is_tier_replica(key)
+        assert cluster.replica_cached_bytes == 0
+        assert cluster.owned_cached_bytes == 10 * MB
+        assert cluster.is_live(key, include_replicas=False)
+        # Evicting a replica clears its mark and its byte share.
+        cluster.place(key, b"r", size_bytes=10 * MB, tier_replica=True)
+        cluster.evict(key)
+        assert cluster.replica_cached_bytes == 0
+        assert not cluster.is_tier_replica(key)
+        assert_index_consistent(cluster)
 
     def test_reclamation_event_prunes_reverse_map(self, platform):
         cluster = ServerlessCacheCluster(platform, replication_factor=1)
