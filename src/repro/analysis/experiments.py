@@ -23,7 +23,7 @@ import numpy as np
 from repro.analysis import setup_cache
 from repro.analysis.comparison import percent_reduction
 from repro.analysis.runner import prepare_setup, map_tasks, run_trace
-from repro.config import SimulationConfig
+from repro.config import QUEUE_DISCIPLINES, SimulationConfig
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.fl.models import EVALUATION_MODELS
 from repro.scenario import (
@@ -38,7 +38,10 @@ from repro.scenario import (
     ScenarioSpec,
     TierSpec,
     WorkloadMixSpec,
+    apply_overrides,
+    calibrate,
     calibrate_mean_service_seconds,
+    get_scenario,
     paper_experiment_config,
     sweep,
 )
@@ -953,6 +956,12 @@ def _legacy_autoscale_row(report: RunReport) -> dict:
     return row
 
 
+#: The policies the legacy autoscale sweep enumerates by default — pinned to
+#: the pre-"slo" tuple so its golden output never moves; pass
+#: ``policies=AUTOSCALER_KINDS`` (or the CLI's ``--policies``) to include
+#: newer policies.
+LEGACY_AUTOSCALE_POLICIES: tuple[str, ...] = ("none", "reactive", "predictive")
+
 #: The headline columns of an autoscale-sweep row, shared by the CLI table
 #: and the benchmark report so the two never drift.
 AUTOSCALE_REPORT_COLUMNS: tuple[str, ...] = (
@@ -974,7 +983,7 @@ def run_autoscale_sweep(
     model_name: str = "efficientnet_v2_small",
     workloads: Sequence[str] = LOAD_SWEEP_WORKLOADS,
     process: str = "diurnal",
-    policies: Sequence[str] = AUTOSCALER_KINDS,
+    policies: Sequence[str] = LEGACY_AUTOSCALE_POLICIES,
     utilizations: Sequence[float] = (2.5,),
     num_rounds: int = 12,
     num_requests: int = 160,
@@ -1320,6 +1329,155 @@ def compare_fault_recovery(rows: Sequence[Mapping]) -> list[dict]:
                 "shadow_rejects": on["shadow_rejects"],
             }
         )
+    return comparisons
+
+
+# ---------------------------------------------------------------------------
+# Tenant sweep — queue discipline x tenant weight on a shared warm slot
+# ---------------------------------------------------------------------------
+
+
+#: The queue disciplines the tenant sweep compares by default: FIFO (no
+#: isolation — the burst owns the queue), WFQ, and DRR (weighted fairness).
+TENANT_SWEEP_DISCIPLINES: tuple[str, ...] = ("fifo", "wfq", "drr")
+
+#: The headline columns of a tenant-sweep row, shared by the CLI table and
+#: the benchmark report so the two never drift.  The per-tenant triples are
+#: named after the noisy-neighbor scenario's tenants.
+TENANT_REPORT_COLUMNS: tuple[str, ...] = (
+    "discipline",
+    "steady_weight",
+    "bursty_weight",
+    "served",
+    "shed",
+    "p99_sojourn_seconds",
+    "steady_p99",
+    "steady_share",
+    "steady_violations",
+    "bursty_p99",
+    "bursty_share",
+    "bursty_violations",
+    "conserved",
+)
+
+
+def _tenant_sweep_row(report: RunReport) -> dict:
+    """Project a scenario run onto the tenant-sweep row schema."""
+    spec = report.spec
+    row: dict = {"discipline": spec.tier.queue_discipline}
+    for tenant in spec.tenants:
+        row[f"{tenant.name}_weight"] = tenant.weight
+    base = report.row()
+    for key in ("served", "shed", "degraded", "p99_sojourn_seconds", "conserved"):
+        row[key] = base[key]
+    for tenant_row in report.tenants or []:
+        name = tenant_row["tenant"]
+        row[f"{name}_p99"] = tenant_row["p99_sojourn_seconds"]
+        row[f"{name}_share"] = tenant_row["service_share"]
+        row[f"{name}_violations"] = tenant_row["violation_rate"]
+    return row
+
+
+def run_tenant_sweep(
+    disciplines: Sequence[str] = TENANT_SWEEP_DISCIPLINES,
+    steady_weights: Sequence[float] = (1.0, 2.0, 4.0),
+    bursty_utilization: float | None = None,
+    num_rounds: int | None = None,
+    num_requests: int | None = None,
+    seed: int = 7,
+    workers: int | None = None,
+) -> dict:
+    """Tenant sweep: queue discipline x steady-tenant weight on one warm slot.
+
+    Every cell serves the registered ``noisy-neighbor`` scenario — a
+    well-behaved Poisson tenant sharing one warm slot with a bursty
+    neighbour offering twice its arrival rate — under one queue discipline
+    and one weight for the steady tenant.  Rows report per-tenant p99 sojourn, service share,
+    and SLO-violation rate beside the tier-level aggregates: under FIFO the
+    burst owns the queue and the steady tenant's tail inflates with it,
+    while WFQ and DRR bound the steady tenant's p99 in proportion to its
+    weight (the weight axis is a no-op for FIFO — its rows stay flat).
+    Per-tenant conservation (``served + requeued + degraded + shed ==
+    offered``) is asserted inside every cell.  Cells are independent;
+    ``workers > 1`` fans them out to worker processes.
+    """
+    unknown = sorted(set(disciplines) - set(QUEUE_DISCIPLINES))
+    if unknown:
+        # Fail before the calibration run and the worker fan-out, not deep
+        # inside a cell.
+        raise ValueError(f"unknown queue disciplines {unknown}; expected {QUEUE_DISCIPLINES}")
+    overrides: dict = {"seed": seed}
+    if num_rounds is not None:
+        overrides["num_rounds"] = num_rounds
+    if bursty_utilization is not None:
+        overrides["tenants.bursty.utilization"] = bursty_utilization
+    base = get_scenario("noisy-neighbor")
+    if num_requests is not None:
+        for tenant in base.tenants:
+            overrides[f"tenants.{tenant.name}.num_requests"] = num_requests
+    base = apply_overrides(base, overrides)
+    # The weight axis never moves the calibrated service time; pin it once
+    # so the grid shares one calibration and one per-tenant SLO.
+    mean_service = calibrate(base)
+    base = apply_overrides(base, {"mean_service_seconds": mean_service})
+    rows = sweep(
+        base,
+        axes={
+            "tier.queue_discipline": tuple(disciplines),
+            "tenants.steady.weight": tuple(float(w) for w in steady_weights),
+        },
+        workers=workers,
+        row_fn=_tenant_sweep_row,
+    )
+    return {
+        "rows": rows,
+        "mean_service_seconds": mean_service,
+        "tenant_slo_seconds": {
+            tenant.name: (
+                tenant.slo_multiplier * mean_service if tenant.slo_multiplier else None
+            )
+            for tenant in base.tenants
+        },
+        "disciplines": list(disciplines),
+        "steady_weights": [float(w) for w in steady_weights],
+        "seed": base.seed,
+    }
+
+
+def compare_tenant_disciplines(rows: Sequence[Mapping]) -> list[dict]:
+    """WFQ/DRR-vs-FIFO deltas on the steady tenant, per weight level.
+
+    The comparison the sweep exists to make: at each steady-tenant weight,
+    how much of the steady tenant's p99 and violation rate does weighted
+    fairness claw back from the noisy neighbour, relative to FIFO.
+    """
+    comparisons = []
+    by_weight: dict[float, dict[str, Mapping]] = {}
+    for row in rows:
+        by_weight.setdefault(row["steady_weight"], {})[row["discipline"]] = row
+    for weight in sorted(by_weight):
+        cell = by_weight[weight]
+        fifo = cell.get("fifo")
+        if fifo is None:
+            continue
+        for discipline in ("wfq", "drr"):
+            fair = cell.get(discipline)
+            if fair is None:
+                continue
+            comparisons.append(
+                {
+                    "steady_weight": weight,
+                    "discipline": discipline,
+                    "steady_p99_fifo": fifo["steady_p99"],
+                    "steady_p99_fair": fair["steady_p99"],
+                    "steady_p99_reduction_pct": percent_reduction(
+                        fifo["steady_p99"], fair["steady_p99"]
+                    ),
+                    "steady_violations_fifo": fifo["steady_violations"],
+                    "steady_violations_fair": fair["steady_violations"],
+                    "steady_share_fair": fair["steady_share"],
+                }
+            )
     return comparisons
 
 

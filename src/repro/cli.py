@@ -10,6 +10,7 @@ Usage examples::
     python -m repro.cli run-load --workers 4         # open-loop load sweep, parallel cells
     python -m repro.cli run-shard-sweep --shards 1,2,4 --shed-policy drop
     python -m repro.cli run-faults --kinds shard-crash,reclamation-storm
+    python -m repro.cli run-tenants --disciplines fifo,wfq --steady-weights 1,2,4
     python -m repro.cli run-scenario --list           # registered scenario specs
     python -m repro.cli run-scenario --name jsq-hotkey --set tier.shards=8
     python -m repro.cli run-scenario --spec examples/scenarios/sharded_burst.json \
@@ -31,7 +32,7 @@ from repro.analysis.export import export_csv, export_json
 from repro.analysis.perf import tune_gc
 from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
-from repro.config import SHED_POLICIES
+from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.engine.faults import FAULT_KINDS
 from repro.engine.sharded import REPLICATION_POLICIES
@@ -193,6 +194,30 @@ _SWEEP_FLAGS: dict[str, _SweepFlag] = {
             int,
             "trace length of each bounded shadow-verification run",
         ),
+        _SweepFlag(
+            "--disciplines",
+            "tier.queue_discipline (axis)",
+            str,
+            f"comma-separated queue disciplines ({', '.join(QUEUE_DISCIPLINES)})",
+        ),
+        _SweepFlag(
+            "--steady-weights",
+            "tenants.steady.weight (axis)",
+            str,
+            "comma-separated fair-queueing weights for the steady tenant",
+        ),
+        _SweepFlag(
+            "--bursty-utilization",
+            "tenants.bursty.utilization",
+            float,
+            "offered utilization of the noisy neighbour (multiple of the calibrated service rate)",
+        ),
+        _SweepFlag(
+            "--tenant-requests",
+            "tenants.<name>.num_requests",
+            int,
+            "per-tenant trace length (overrides every tenant's num_requests)",
+        ),
     )
 }
 
@@ -248,6 +273,14 @@ _SWEEP_COMMAND_FLAGS: dict[str, dict[str, Any]] = {
         "--control-interval": 5.0,
         "--shadow-requests": 36,
     },
+    "run-tenants": {
+        "--rounds": 8,
+        "--seed": 7,
+        "--disciplines": "fifo,wfq,drr",
+        "--steady-weights": "1.0,2.0,4.0",
+        "--bursty-utilization": 1.0,
+        "--tenant-requests": None,
+    },
 }
 
 _SWEEP_COMMAND_HELP: dict[str, tuple[str, str]] = {
@@ -278,6 +311,15 @@ _SWEEP_COMMAND_HELP: dict[str, tuple[str, str]] = {
         "the shadow-verified remediation controller — and print time-to-"
         "recovery, goodput dip area, tail latency, and the controller's "
         "accept/reject accounting per cell, plus the on-vs-off deltas.",
+    ),
+    "run-tenants": (
+        "queue-discipline x tenant-weight sweep on the noisy-neighbor scenario",
+        "Serve the noisy-neighbor scenario — a steady Poisson tenant sharing "
+        "one warm slot with a bursty neighbour at twice its arrival rate — "
+        "under each queue discipline (fifo, wfq, drr) and steady-tenant weight, and "
+        "print per-tenant p99 sojourn, service share, and SLO-violation "
+        "rate per cell, plus the WFQ/DRR-vs-FIFO deltas on the steady "
+        "tenant.",
     ),
 }
 
@@ -517,7 +559,7 @@ def main(argv: list[str] | None = None) -> int:
         return _run_scenario_command(args)
 
     tune_gc()
-    if args.command in ("run-load", "run-shard-sweep", "run-autoscale", "run-faults"):
+    if args.command in ("run-load", "run-shard-sweep", "run-autoscale", "run-faults", "run-tenants"):
         workers = args.workers
         if workers is None and args.parallel:
             workers = os.cpu_count() or 1
@@ -587,6 +629,34 @@ def main(argv: list[str] | None = None) -> int:
                     format_table(
                         comparisons, title="Controller on vs off (same fault, same capacity)"
                     )
+                )
+        elif args.command == "run-tenants":
+            title = "Tenant sweep (queue discipline x steady weight, noisy-neighbor)"
+            disciplines = tuple(d.strip() for d in args.disciplines.split(",") if d.strip())
+            unknown = sorted(set(disciplines) - set(QUEUE_DISCIPLINES))
+            if unknown:
+                print(
+                    f"error: unknown --disciplines {','.join(unknown)}; "
+                    f"expected a comma list of {', '.join(QUEUE_DISCIPLINES)}",
+                    file=sys.stderr,
+                )
+                return 2
+            result = E.run_tenant_sweep(
+                disciplines=disciplines,
+                steady_weights=tuple(
+                    float(w) for w in args.steady_weights.split(",") if w.strip()
+                ),
+                bursty_utilization=args.bursty_utilization,
+                num_rounds=args.rounds,
+                num_requests=args.tenant_requests,
+                seed=args.seed,
+                workers=workers,
+            )
+            columns = list(E.TENANT_REPORT_COLUMNS)
+            comparisons = E.compare_tenant_disciplines(result["rows"])
+            if comparisons:
+                extra_tables.append(
+                    format_table(comparisons, title="Weighted fairness vs FIFO (steady tenant)")
                 )
         elif args.command == "run-load":
             title = "Open-loop load sweep (engine)"

@@ -146,7 +146,11 @@ class PricingConfig:
 SHED_POLICIES: tuple[str, ...] = ("drop", "degrade-to-objstore")
 
 #: Disciplines of the per-function request queues (see ``ServerlessConfig``).
-QUEUE_DISCIPLINES: tuple[str, ...] = ("fifo", "priority")
+#: ``fifo``/``priority`` order individual requests; ``wfq`` (weighted fair
+#: queueing, self-clocked virtual finish times) and ``drr`` (deficit round
+#: robin) schedule *flows* — per-tenant backlogs served in proportion to the
+#: tenant weights configured on the scenario spec.
+QUEUE_DISCIPLINES: tuple[str, ...] = ("fifo", "priority", "wfq", "drr")
 
 
 @dataclass(frozen=True)
@@ -176,7 +180,9 @@ class ServerlessConfig:
     #: provisioned-concurrency pools behind a single logical function).
     function_concurrency: int = 1
     #: Discipline of the per-function request queue used by the discrete-event
-    #: engine: ``"fifo"`` or ``"priority"`` (lower priority value served first).
+    #: engine: ``"fifo"``, ``"priority"`` (lower priority value served first),
+    #: ``"wfq"`` (weighted fair queueing across tenant flows), or ``"drr"``
+    #: (deficit round robin across tenant flows).
     queue_discipline: str = "fifo"
     #: Admission control: maximum number of requests allowed to wait for an
     #: execution slot on one serving shard (and on any one function queue).

@@ -1,4 +1,4 @@
-"""Multi-tenant FLStore (Appendix A of the paper).
+"""Multi-tenant FLStore (Appendix A of the paper) — **deprecated**.
 
 The serverless paradigm isolates functions per invocation, so one FLStore
 deployment can host an isolated cache per user/FL-job ("tenant"), each with
@@ -6,10 +6,23 @@ its own caching-policy configuration, while sharing nothing but the physical
 platform abstraction.  :class:`MultiTenantFLStore` manages one
 :class:`~repro.core.flstore.FLStore` instance per tenant and routes ingestion
 and requests by tenant id.
+
+.. deprecated::
+    This module predates the serving engine: its tenants never pass through
+    queues, shards, admission control, or the autoscaler, so it cannot
+    answer contention questions (noisy neighbours, fair shares, per-tenant
+    SLOs).  Tenants are now first-class in the scenario API — declare them
+    as :class:`~repro.scenario.spec.TenantSpec` entries on a
+    :class:`~repro.scenario.spec.ScenarioSpec` and serve them through
+    :func:`repro.scenario.build.run` (or :func:`~repro.scenario.build
+    .build_tier`), which tags every request/outcome with its ``tenant_id``
+    and reports per-tenant rows.  :meth:`MultiTenantFLStore.scenario_spec`
+    converts an existing registration to the replacement spec.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.config import SimulationConfig
@@ -17,6 +30,24 @@ from repro.core.flstore import FLStore, ServeResult, build_default_flstore
 from repro.fl.rounds import RoundRecord
 from repro.simulation.records import CostBreakdown
 from repro.workloads.base import WorkloadRequest
+
+_DEPRECATION_MESSAGE = """\
+MultiTenantFLStore is deprecated: its tenants bypass the serving tier (no
+queues, admission, shards, or autoscaling).  Declare tenants on a scenario
+spec instead and serve them through the engine:
+
+    from repro.scenario import ScenarioSpec, TenantSpec, run
+
+    spec = ScenarioSpec(
+        name="my-tenants",
+        tenants=(
+            TenantSpec(name="team-a", utilization=0.5, weight=2.0),
+            TenantSpec(name="team-b", arrival="bursty", utilization=1.0),
+        ),
+    )
+    report = run(spec)   # report.tenants has one row per tenant
+
+scenario_spec() on this instance builds the equivalent replacement spec."""
 
 
 @dataclass
@@ -33,6 +64,13 @@ class TenantHandle:
 class MultiTenantFLStore:
     """Hosts several isolated FLStore caches, one per tenant.
 
+    .. deprecated::
+        Use :class:`~repro.scenario.spec.TenantSpec` entries on a
+        :class:`~repro.scenario.spec.ScenarioSpec` instead (see the module
+        docstring); :meth:`scenario_spec` builds the replacement spec from
+        a live registration.  Behaviour of the legacy entry points is
+        unchanged.
+
     Parameters
     ----------
     default_config:
@@ -40,8 +78,28 @@ class MultiTenantFLStore:
     """
 
     def __init__(self, default_config: SimulationConfig | None = None) -> None:
+        warnings.warn(_DEPRECATION_MESSAGE, DeprecationWarning, stacklevel=2)
         self.default_config = default_config or SimulationConfig()
         self._tenants: dict[str, TenantHandle] = {}
+
+    def scenario_spec(self, name: str = "multitenant-flstore"):
+        """The replacement :class:`~repro.scenario.spec.ScenarioSpec`.
+
+        One :class:`~repro.scenario.spec.TenantSpec` per registered tenant
+        (spec defaults for the knobs this legacy API never had: Poisson
+        arrivals, equal weights, the default workload mix), ready for
+        :func:`repro.scenario.build.run` — which, unlike this class, runs
+        every tenant through queues, admission, and the autoscaler and
+        reports per-tenant rows.
+        """
+        # Imported here: the scenario package builds on the engine layers
+        # above this module, so a top-level import would be cyclic.
+        from repro.scenario.spec import ScenarioSpec, TenantSpec
+
+        return ScenarioSpec(
+            name=name,
+            tenants=tuple(TenantSpec(name=tenant_id) for tenant_id in self.tenants()),
+        )
 
     # ------------------------------------------------------------ lifecycle
 

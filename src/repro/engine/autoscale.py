@@ -91,6 +91,9 @@ class AutoscaleConfig:
     #: Predictive policy: utilization the forecast capacity targets
     #: (headroom = 1/target_utilization).
     target_utilization: float = 0.95
+    #: SLO policy: the per-window violation rate (aggregate or worst tenant)
+    #: above which capacity is added.
+    slo_violation_target: float = 0.05
 
     def __post_init__(self) -> None:
         if self.control_interval_seconds <= 0:
@@ -107,6 +110,8 @@ class AutoscaleConfig:
             raise ConfigurationError("ewma_alpha and trend_beta must be in (0, 1]")
         if not 0 < self.target_utilization <= 1:
             raise ConfigurationError("target_utilization must be in (0, 1]")
+        if not 0 <= self.slo_violation_target < 1:
+            raise ConfigurationError("slo_violation_target must be in [0, 1)")
 
     @property
     def min_capacity_units(self) -> int:
@@ -140,6 +145,13 @@ class ControlSignals:
     capacity_units: int
     #: Requests in flight at the front door (queued + executing + scheduled).
     inflight: int
+    #: SLO accounting deltas since the previous tick (0 unless the tier's
+    #: ``watch_slo_seconds`` — or per-tenant SLOs — arm violation counting).
+    slo_violation_delta: int = 0
+    finished_delta: int = 0
+    #: Worst per-tenant violation rate over the last window (0.0 on
+    #: tenant-free tiers).
+    max_tenant_violation_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -293,8 +305,72 @@ class PredictiveAutoscaler(AutoscalerPolicy):
         )
 
 
+class SLOViolationAutoscaler(AutoscalerPolicy):
+    """Scale on observed SLO violations rather than backlog proxies.
+
+    Each tick compares the *window* violation rate — aggregate finishes, and
+    the worst single tenant's, so one suffering tenant is enough to act —
+    against ``slo_violation_target``; crossing it (or shedding anything)
+    scales up one unit plus one per two violations over target, and a clean
+    window with an idle queue releases one unit.  The same cooldown and
+    hysteresis structure as the reactive policy prevents flapping, but the
+    trigger is the contract itself: a tier can run deep queues without
+    scaling as long as every tenant's sojourns stay inside its SLO.
+    """
+
+    name = "slo"
+
+    def __init__(self, config: AutoscaleConfig | None = None) -> None:
+        self.config = config or AutoscaleConfig()
+        self._last_scale_up_at: float | None = None
+        self._last_scale_down_at: float | None = None
+
+    def _cooling_down(self, last_at: float | None, cooldown: float, now: float) -> bool:
+        return last_at is not None and now - last_at < cooldown
+
+    def decide(self, signals: ControlSignals) -> ScaleDecision:
+        config = self.config
+        window_rate = (
+            signals.slo_violation_delta / signals.finished_delta
+            if signals.finished_delta
+            else 0.0
+        )
+        pressure = max(window_rate, signals.max_tenant_violation_rate)
+        if pressure > config.slo_violation_target or signals.shed_delta > 0:
+            if signals.capacity_units >= config.max_capacity_units or self._cooling_down(
+                self._last_scale_up_at, config.scale_up_cooldown_seconds, signals.now
+            ):
+                return HOLD
+            over_target = max(
+                signals.slo_violation_delta
+                - int(config.slo_violation_target * signals.finished_delta),
+                0,
+            )
+            step = 1 + over_target // 2
+            self._last_scale_up_at = signals.now
+            return ScaleDecision(
+                signals.capacity_units + step,
+                reason=(
+                    f"violation rate {pressure:.2f} over target "
+                    f"{config.slo_violation_target:.2f}, shed {signals.shed_delta}"
+                ),
+            )
+        backlog_per_unit = signals.queue_depth / max(signals.capacity_units, 1)
+        if pressure == 0.0 and backlog_per_unit < config.low_backlog_per_unit:
+            if signals.capacity_units <= config.min_capacity_units or self._cooling_down(
+                self._last_scale_down_at, config.scale_down_cooldown_seconds, signals.now
+            ):
+                return HOLD
+            self._last_scale_down_at = signals.now
+            return ScaleDecision(
+                signals.capacity_units - 1,
+                reason="clean SLO window with idle queue",
+            )
+        return HOLD
+
+
 #: Policy names understood by :func:`make_autoscaler_policy` (and the CLI).
-AUTOSCALER_KINDS: tuple[str, ...] = ("none", "reactive", "predictive")
+AUTOSCALER_KINDS: tuple[str, ...] = ("none", "reactive", "predictive", "slo")
 
 
 def make_autoscaler_policy(
@@ -313,6 +389,8 @@ def make_autoscaler_policy(
         return ReactiveThresholdAutoscaler(config)
     if kind == "predictive":
         return PredictiveAutoscaler(mean_service_seconds, config)
+    if kind == "slo":
+        return SLOViolationAutoscaler(config)
     raise ValueError(f"unknown autoscaler policy {kind!r}; expected one of {AUTOSCALER_KINDS}")
 
 
@@ -419,6 +497,10 @@ class Autoscaler:
         self._seen_shed = 0
         self._seen_degraded = 0
         self._seen_requeued = 0
+        self._seen_violations = 0
+        self._seen_finished = 0
+        self._seen_tenant_finished: dict[str, int] = {}
+        self._seen_tenant_violations: dict[str, int] = {}
         self._rate_ewma = 0.0
         self._started = False
 
@@ -434,6 +516,10 @@ class Autoscaler:
         self._seen_shed = self.tier.shed_requests
         self._seen_degraded = self.tier.degraded_requests
         self._seen_requeued = self.tier.requeued_requests
+        self._seen_violations = self.tier.slo_violations_total
+        self._seen_finished = self.tier.finished_total
+        self._seen_tenant_finished = dict(getattr(self.tier, "tenant_finished", {}))
+        self._seen_tenant_violations = dict(getattr(self.tier, "tenant_slo_violations", {}))
         self.tier.loop.schedule(self.config.control_interval_seconds, self._tick)
 
     def finalize(self) -> None:
@@ -481,6 +567,23 @@ class Autoscaler:
         shed = tier.shed_requests
         degraded = tier.degraded_requests
         requeued = tier.requeued_requests
+        violations = tier.slo_violations_total
+        finished = tier.finished_total
+        # Per-tenant *window* rates (deltas over the interval): the worst
+        # tenant's rate drives the "slo" policy, so one noisy-neighbour
+        # victim is enough to trigger a scale-up even when the aggregate
+        # rate looks healthy.
+        tenant_finished = dict(getattr(tier, "tenant_finished", {}))
+        tenant_violations = getattr(tier, "tenant_slo_violations", {})
+        max_tenant_rate = 0.0
+        for tenant, total_finished in tenant_finished.items():
+            finished_delta = total_finished - self._seen_tenant_finished.get(tenant, 0)
+            if finished_delta <= 0:
+                continue
+            violation_delta = tenant_violations.get(
+                tenant, 0
+            ) - self._seen_tenant_violations.get(tenant, 0)
+            max_tenant_rate = max(max_tenant_rate, violation_delta / finished_delta)
         signals = ControlSignals(
             now=tier.loop.now,
             queue_depth=tier.waiting_requests,
@@ -493,8 +596,14 @@ class Autoscaler:
             slots_per_function=tier.slots_per_function,
             capacity_units=tier.capacity_units,
             inflight=tier.inflight,
+            slo_violation_delta=violations - self._seen_violations,
+            finished_delta=finished - self._seen_finished,
+            max_tenant_violation_rate=max_tenant_rate,
         )
         self._seen_shed, self._seen_degraded, self._seen_requeued = shed, degraded, requeued
+        self._seen_violations, self._seen_finished = violations, finished
+        self._seen_tenant_finished = tenant_finished
+        self._seen_tenant_violations = dict(tenant_violations)
         return signals
 
     # ------------------------------------------------------------- actuation

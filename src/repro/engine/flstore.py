@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -71,6 +71,11 @@ class EngineOutcome:
             raise ValueError(
                 f"unknown disposition {self.disposition!r}; expected one of {DISPOSITIONS}"
             )
+
+    @property
+    def tenant_id(self) -> str | None:
+        """The tenant the request belongs to (``None`` on single-tenant runs)."""
+        return self.request.tenant_id
 
     @property
     def wait_seconds(self) -> float:
@@ -207,6 +212,11 @@ class LoadReport:
     #: SLO (0.0 when no SLO was set for the run).
     violation_rate: float = 0.0
     slo_seconds: float | None = None
+    #: Per-tenant breakdown rows (empty on single-tenant runs).  Each row
+    #: counts ``served`` strictly (requeued listed separately), so the
+    #: per-tenant conservation invariant reads ``served + requeued +
+    #: degraded + shed == offered``.
+    tenant_rows: list[dict] = field(default_factory=list)
     outcomes: list[EngineOutcome] = field(default_factory=list, repr=False)
 
     @property
@@ -245,6 +255,57 @@ class LoadReport:
         return [outcome.to_record(system, model_name) for outcome in self.outcomes]
 
 
+def build_tenant_rows(
+    outcomes: Sequence[EngineOutcome],
+    tenant_slos: "Mapping[str, float | None] | None" = None,
+) -> list[dict]:
+    """Per-tenant breakdown rows aggregated from tagged outcomes.
+
+    Tenants are reported in sorted-name order.  ``served`` counts strictly
+    served requests (requeued is its own column), so each row satisfies
+    ``served + requeued + degraded + shed == offered``.  ``service_share``
+    is the tenant's fraction of all finished (non-shed) tenant requests —
+    the quantity WFQ/DRR drive toward the configured weight shares.
+    ``tenant_slos`` supplies each tenant's own SLO for the row's
+    ``violation_rate`` (tenants absent from the map report 0.0).
+    """
+    by_tenant: dict[str, list[EngineOutcome]] = {}
+    for outcome in outcomes:
+        tenant = outcome.request.tenant_id
+        if tenant is not None:
+            by_tenant.setdefault(tenant, []).append(outcome)
+    if not by_tenant:
+        return []
+    slos = tenant_slos or {}
+    total_finished = sum(
+        1 for rows in by_tenant.values() for o in rows if o.disposition != "shed"
+    )
+    tenant_rows = []
+    for tenant in sorted(by_tenant):
+        rows = by_tenant[tenant]
+        finished = [o for o in rows if o.disposition != "shed"]
+        sojourns = np.array([o.sojourn_seconds for o in finished], dtype=float)
+        slo = slos.get(tenant)
+        violations = int(np.count_nonzero(sojourns > slo)) if slo is not None else 0
+        tenant_rows.append(
+            {
+                "tenant": tenant,
+                "offered": len(rows),
+                "served": sum(1 for o in rows if o.disposition == "served"),
+                "requeued": sum(1 for o in rows if o.disposition == "requeued"),
+                "degraded": sum(1 for o in rows if o.disposition == "degraded"),
+                "shed": sum(1 for o in rows if o.disposition == "shed"),
+                "service_share": len(finished) / total_finished if total_finished else 0.0,
+                "mean_sojourn_seconds": float(sojourns.mean()) if finished else 0.0,
+                "p50_sojourn_seconds": float(np.percentile(sojourns, 50)) if finished else 0.0,
+                "p99_sojourn_seconds": float(np.percentile(sojourns, 99)) if finished else 0.0,
+                "violation_rate": violations / len(finished) if finished else 0.0,
+                "slo_seconds": slo,
+            }
+        )
+    return tenant_rows
+
+
 def build_load_report(
     outcomes: list[EngineOutcome],
     arrival_times: Sequence[float],
@@ -253,6 +314,7 @@ def build_load_report(
     keepalive_pings: int = 0,
     reclamations: int = 0,
     slo_seconds: float | None = None,
+    tenant_slos: "Mapping[str, float | None] | None" = None,
 ) -> LoadReport:
     """Aggregate ``outcomes`` into a :class:`LoadReport`.
 
@@ -306,6 +368,7 @@ def build_load_report(
         shed_rate=shed / submitted if submitted else 0.0,
         violation_rate=violations / completed if completed else 0.0,
         slo_seconds=slo_seconds,
+        tenant_rows=build_tenant_rows(outcomes, tenant_slos),
         outcomes=outcomes,
     )
 
@@ -416,6 +479,16 @@ class EngineFLStore:
         self.finished_total = 0
         self.slo_violations_total = 0
         self.watch_slo_seconds: float | None = None
+        #: Multi-tenant state (empty on single-tenant engines, which keeps
+        #: every untagged code path byte-identical).  Weights feed the
+        #: wfq/drr queue disciplines; per-tenant SLOs and the lifetime
+        #: violation/finished counters feed SLO-aware shedding and the
+        #: ``slo`` autoscaler policy.
+        self._tenant_weights: dict[str, float] = {}
+        self.tenant_slo_seconds: dict[str, float] = {}
+        self.tenant_finished: dict[str, int] = {}
+        self.tenant_slo_violations: dict[str, int] = {}
+        self._tenant_waiting: dict[str, int] = {}
         #: Streaming-mode hooks: when set, completed outcomes / queue-depth
         #: changes flow to these callbacks *instead of* the retained
         #: ``_completed`` / ``_depth_samples`` lists (``metrics="streaming"``
@@ -465,6 +538,83 @@ class EngineFLStore:
         """Ingest a training round into the underlying FLStore."""
         return self.flstore.ingest_round(record)
 
+    # ---------------------------------------------------------------- tenancy
+
+    def configure_tenants(
+        self,
+        weights: Mapping[str, float],
+        slo_seconds: Mapping[str, float | None] | None = None,
+    ) -> None:
+        """Arm the engine's tenant policy state.
+
+        ``weights`` drive the ``wfq``/``drr`` queue disciplines and the
+        push-out victim ranking; ``slo_seconds`` gives each tenant its own
+        sojourn SLO (``None`` entries disable violation accounting for that
+        tenant).  An empty ``weights`` mapping disarms tenancy entirely —
+        the engine is then byte-identical to a pre-tenant build.
+        """
+        self._tenant_weights = dict(weights)
+        self.tenant_slo_seconds = {
+            tenant: slo
+            for tenant, slo in (slo_seconds or {}).items()
+            if slo is not None
+        }
+
+    def tenant_violation_rate(self, tenant: str | None) -> float:
+        """Lifetime SLO-violation rate of ``tenant`` (0.0 before any finish)."""
+        if tenant is None:
+            return 0.0
+        finished = self.tenant_finished.get(tenant, 0)
+        if not finished:
+            return 0.0
+        return self.tenant_slo_violations.get(tenant, 0) / finished
+
+    def _pushout_victim(
+        self, arriving: str | None, queued: Mapping[str, int]
+    ) -> str | None:
+        """Which queued tenant's newest waiter to shed instead of the arrival.
+
+        SLO-aware admission: among tenants with queued requests, the one
+        with the highest lifetime violation rate (ties broken by backlog
+        per unit weight, then name for determinism) is pushed out — but
+        only when its violation rate strictly exceeds the arriving
+        tenant's, so a well-behaved arrival is never traded for an
+        equally well-behaved waiter.  Returns ``None`` to shed the arrival
+        as before.
+        """
+        arriving_rate = self.tenant_violation_rate(arriving)
+        victim = None
+        best: tuple[float, float, str] | None = None
+        for flow, depth in queued.items():
+            if flow is None or depth <= 0:
+                continue
+            rate = self.tenant_violation_rate(flow)
+            if rate <= arriving_rate:
+                continue
+            key = (rate, depth / self._tenant_weights.get(flow, 1.0), str(flow))
+            if best is None or key > best:
+                best = key
+                victim = flow
+        return victim
+
+    def _try_pushout(self, request: WorkloadRequest) -> bool:
+        """Shed a worse-violating queued tenant's request to admit ``request``.
+
+        Returns whether a victim was evicted (its waiter resumes
+        synchronously with a ``"shed"`` grant and records its own shed
+        outcome), leaving admission room for the arrival.
+        """
+        if not self._tenant_weights:
+            return False
+        victim = self._pushout_victim(request.tenant_id, self._tenant_waiting)
+        if victim is None:
+            return False
+        token = self.platform.evict_waiter(victim)
+        if token is None:
+            return False
+        token.resolve("shed")
+        return True
+
     # ------------------------------------------------------------ submission
 
     def submit(self, request: WorkloadRequest, at: float, priority: float = 0.0) -> SimTask:
@@ -481,7 +631,11 @@ class EngineFLStore:
         self._outstanding += 1
 
         def _arrive() -> None:
-            if self.max_queue_depth > 0 and self._waiting >= self.max_queue_depth:
+            if (
+                self.max_queue_depth > 0
+                and self._waiting >= self.max_queue_depth
+                and not self._try_pushout(request)
+            ):
                 self._shed(request, task)
             else:
                 self.loop.process(self._request_process(request, priority), task=task)
@@ -543,10 +697,71 @@ class EngineFLStore:
                 holds_slot = True
             else:
                 token = SimTask(self.loop, name=f"slot:{request.request_id}")
-                self.platform.enqueue_waiter(function_id, token, priority)
+                tenant = request.tenant_id
+                weight = self._tenant_weights.get(tenant, 1.0) if tenant else 1.0
+                queue = self.platform.request_queue(function_id)
+                if self._tenant_weights and queue.full:
+                    # A cross-function push-out freed global admission room
+                    # but this particular function's queue is still at
+                    # capacity: evict its worst-scored flow locally so the
+                    # admitted arrival has somewhere to wait.
+                    flows = queue.queued_flows()
+                    local_victim = max(
+                        flows,
+                        key=lambda f: (
+                            self.tenant_violation_rate(f),
+                            flows[f] / self._tenant_weights.get(f, 1.0),
+                            str(f),
+                        ),
+                    )
+                    evicted = queue.evict(local_victim)
+                    if evicted is not None:
+                        evicted.resolve("shed")
+                self.platform.enqueue_waiter(
+                    function_id, token, priority, flow=tenant, weight=weight
+                )
+                if tenant is not None:
+                    self._tenant_waiting[tenant] = self._tenant_waiting.get(tenant, 0) + 1
                 self._note_queue_change(+1)
                 granted = yield token
                 self._note_queue_change(-1)
+                if tenant is not None:
+                    remaining = self._tenant_waiting.get(tenant, 0) - 1
+                    if remaining > 0:
+                        self._tenant_waiting[tenant] = remaining
+                    else:
+                        self._tenant_waiting.pop(tenant, None)
+                if granted == "shed":
+                    # Pushed out of the queue by SLO-aware admission in
+                    # favour of a better-behaved arrival.  The request is
+                    # shed per ``shed_policy`` from the moment of eviction;
+                    # its serving-oracle side effects stand (like a
+                    # requeued request's).
+                    evicted_at = self.loop.now
+                    if self.shed_policy == "degrade-to-objstore":
+                        self.degraded_requests += 1
+                        self.platform.stats.requests_degraded += 1
+                        result = self._apply_network_fault(serve_degraded(self.flstore, request))
+                        service_seconds = result.latency.total_seconds * self.service_time_multiplier
+                        if service_seconds > 0:
+                            yield Timeout(service_seconds)
+                        disposition = "degraded"
+                    else:
+                        self.shed_requests += 1
+                        self.platform.stats.requests_shed += 1
+                        result = rejection_result(self.flstore, request)
+                        disposition = "shed"
+                    outcome = EngineOutcome(
+                        request=request,
+                        result=result,
+                        arrived_at=arrived_at,
+                        started_at=evicted_at,
+                        completed_at=self.loop.now,
+                        disposition=disposition,
+                    )
+                    self._record(outcome)
+                    self._outstanding -= 1
+                    return outcome
                 # A False grant means the function was reclaimed while the
                 # request waited; it proceeds without holding a slot (its
                 # analytic outcome already happened at arrival) and is
@@ -582,8 +797,18 @@ class EngineFLStore:
         if outcome.disposition != "shed":
             self.finished_total += 1
             watch = self.watch_slo_seconds
-            if watch is not None and outcome.sojourn_seconds > watch:
-                self.slo_violations_total += 1
+            tenant = outcome.request.tenant_id
+            if tenant is None:
+                if watch is not None and outcome.sojourn_seconds > watch:
+                    self.slo_violations_total += 1
+            else:
+                self.tenant_finished[tenant] = self.tenant_finished.get(tenant, 0) + 1
+                slo = self.tenant_slo_seconds.get(tenant, watch)
+                if slo is not None and outcome.sojourn_seconds > slo:
+                    self.slo_violations_total += 1
+                    self.tenant_slo_violations[tenant] = (
+                        self.tenant_slo_violations.get(tenant, 0) + 1
+                    )
         sink = self.outcome_sink
         if sink is None:
             self._completed.append(outcome)
@@ -803,7 +1028,11 @@ class EngineFLStore:
         def _arrive(index: int) -> None:
             request = requests[index]
             task = tasks[index]
-            if self.max_queue_depth > 0 and self._waiting >= self.max_queue_depth:
+            if (
+                self.max_queue_depth > 0
+                and self._waiting >= self.max_queue_depth
+                and not self._try_pushout(request)
+            ):
                 self._shed(request, task)
             else:
                 priority = priorities[index] if priorities is not None else 0.0
@@ -855,7 +1084,9 @@ class EngineFLStore:
         self._depth_samples = []
         collector: StreamingLoadCollector | None = None
         if metrics == "streaming":
-            collector = StreamingLoadCollector(slo_seconds)
+            collector = StreamingLoadCollector(
+                slo_seconds, tenant_slos=self.tenant_slo_seconds or None
+            )
             self.outcome_sink = collector.fold
             self.depth_listener = lambda engine, now, depth: collector.note_depth(now, depth)
         try:
@@ -888,4 +1119,5 @@ class EngineFLStore:
             keepalive_pings=self.keepalive_pings - pings_before,
             reclamations=self.reclamations - reclamations_before,
             slo_seconds=slo_seconds,
+            tenant_slos=self.tenant_slo_seconds or None,
         )

@@ -269,6 +269,14 @@ class ShardedEngineFLStore:
         self.finished_total = 0
         self.slo_violations_total = 0
         self.watch_slo_seconds: float | None = None
+        #: Tier-level tenant policy state, mirroring the plain engine's
+        #: (:meth:`EngineFLStore.configure_tenants`); propagated to every
+        #: shard — current and future — so per-shard queue disciplines and
+        #: push-out admission see the same weights everywhere.
+        self._tenant_weights: dict[str, float] = {}
+        self.tenant_slo_seconds: dict[str, float] = {}
+        self.tenant_finished: dict[str, int] = {}
+        self.tenant_slo_violations: dict[str, int] = {}
         #: Streaming-mode hook: when set, resolved outcomes flow here
         #: instead of the retained ``_completed`` list.
         self.outcome_sink: Callable[[EngineOutcome], None] | None = None
@@ -341,6 +349,37 @@ class ShardedEngineFLStore:
             self._ingested_counts[index] = len(self._round_log)
         return reports
 
+    # ---------------------------------------------------------------- tenancy
+
+    def configure_tenants(
+        self,
+        weights,
+        slo_seconds=None,
+    ) -> None:
+        """Arm tenant policy state tier-wide (every shard, retired included).
+
+        Shards added later inherit the configuration in :meth:`add_shard`.
+        An empty ``weights`` mapping disarms tenancy, exactly as on the
+        plain engine.
+        """
+        self._tenant_weights = dict(weights)
+        self.tenant_slo_seconds = {
+            tenant: slo
+            for tenant, slo in (slo_seconds or {}).items()
+            if slo is not None
+        }
+        for shard in self.shards:
+            shard.configure_tenants(weights, slo_seconds)
+
+    def tenant_violation_rate(self, tenant: str | None) -> float:
+        """Tier-lifetime SLO-violation rate of ``tenant`` (0.0 before any finish)."""
+        if tenant is None:
+            return 0.0
+        finished = self.tenant_finished.get(tenant, 0)
+        if not finished:
+            return 0.0
+        return self.tenant_slo_violations.get(tenant, 0) / finished
+
     # ------------------------------------------------------------ submission
 
     def submit(self, request: WorkloadRequest, at: float, priority: float = 0.0) -> SimTask:
@@ -373,8 +412,18 @@ class ShardedEngineFLStore:
         if outcome.disposition != "shed":
             self.finished_total += 1
             watch = self.watch_slo_seconds
-            if watch is not None and outcome.sojourn_seconds > watch:
-                self.slo_violations_total += 1
+            tenant = outcome.request.tenant_id
+            if tenant is None:
+                if watch is not None and outcome.sojourn_seconds > watch:
+                    self.slo_violations_total += 1
+            else:
+                self.tenant_finished[tenant] = self.tenant_finished.get(tenant, 0) + 1
+                slo = self.tenant_slo_seconds.get(tenant, watch)
+                if slo is not None and outcome.sojourn_seconds > slo:
+                    self.slo_violations_total += 1
+                    self.tenant_slo_violations[tenant] = (
+                        self.tenant_slo_violations.get(tenant, 0) + 1
+                    )
         sink = self.outcome_sink
         if sink is None:
             self._completed.append(outcome)
@@ -705,6 +754,8 @@ class ShardedEngineFLStore:
         # the provisioned per-function slots, which may have been re-scaled
         # while this shard was retired.
         shard.set_function_concurrency(self.slots_per_function)
+        if self._tenant_weights:
+            shard.configure_tenants(self._tenant_weights, self.tenant_slo_seconds)
         shard.daemon_alive = self._has_inflight
         if self._stream_collector is not None:
             self._apply_stream_hooks(shard)
@@ -858,7 +909,9 @@ class ShardedEngineFLStore:
             shard._depth_samples = []
         collector: StreamingLoadCollector | None = None
         if metrics == "streaming":
-            collector = StreamingLoadCollector(slo_seconds)
+            collector = StreamingLoadCollector(
+                slo_seconds, tenant_slos=self.tenant_slo_seconds or None
+            )
             self._begin_streaming(collector)
         try:
             self._submit_block(requests, absolute_times, priorities)
@@ -900,6 +953,7 @@ class ShardedEngineFLStore:
             keepalive_pings=self.keepalive_pings - pings_before,
             reclamations=self.reclamations - reclamations_before,
             slo_seconds=slo_seconds,
+            tenant_slos=self.tenant_slo_seconds or None,
         )
 
     # ------------------------------------------------- aggregate accounting

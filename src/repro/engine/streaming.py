@@ -145,6 +145,26 @@ class DepthAccumulator:
         return integral / (end - start), self.max_depth
 
 
+class _TenantAccumulator:
+    """Per-tenant running counts and a sojourn sketch (streaming mode)."""
+
+    __slots__ = ("offered", "served", "requeued", "degraded", "shed", "sojourn_sum", "violations", "quantiles")
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.served = 0
+        self.requeued = 0
+        self.degraded = 0
+        self.shed = 0
+        self.sojourn_sum = 0.0
+        self.violations = 0
+        self.quantiles = StreamingQuantiles()
+
+    @property
+    def finished(self) -> int:
+        return self.served + self.requeued + self.degraded
+
+
 class StreamingLoadCollector:
     """Fold outcomes into O(1) state; build a row-free ``LoadReport``.
 
@@ -154,11 +174,18 @@ class StreamingLoadCollector:
     :meth:`note_depth`; the vectorized fast path folds whole numpy chunks
     through :meth:`fold_served_arrays`.  Counts, means, rates, horizon, and
     the mean queue depth come out identical to the full pipeline; the
-    percentile columns carry the sketch's ~1% error.
+    percentile columns carry the sketch's ~1% error.  ``tenant_slos`` arms
+    the per-tenant breakdown rows (one :class:`_TenantAccumulator` per
+    observed tenant, each its own few-KB sketch).
     """
 
-    def __init__(self, slo_seconds: float | None = None) -> None:
+    def __init__(
+        self,
+        slo_seconds: float | None = None,
+        tenant_slos: "dict[str, float | None] | None" = None,
+    ) -> None:
         self.slo_seconds = slo_seconds
+        self.tenant_slos = dict(tenant_slos) if tenant_slos else {}
         self.served = 0
         self.requeued = 0
         self.degraded = 0
@@ -169,6 +196,7 @@ class StreamingLoadCollector:
         self.last_completion = -math.inf
         self.quantiles = StreamingQuantiles()
         self.depth = DepthAccumulator()
+        self._tenants: dict[str, _TenantAccumulator] = {}
 
     @property
     def completed(self) -> int:
@@ -180,21 +208,42 @@ class StreamingLoadCollector:
         if completed_at > self.last_completion:
             self.last_completion = completed_at
         disposition = outcome.disposition
+        tenant = outcome.request.tenant_id
+        acc: _TenantAccumulator | None = None
+        if tenant is not None:
+            acc = self._tenants.get(tenant)
+            if acc is None:
+                acc = self._tenants[tenant] = _TenantAccumulator()
+            acc.offered += 1
         if disposition == "shed":
             self.shed += 1
+            if acc is not None:
+                acc.shed += 1
             return
         if disposition == "degraded":
             self.degraded += 1
+            if acc is not None:
+                acc.degraded += 1
         else:
             self.served += 1
             if disposition == "requeued":
                 self.requeued += 1
+                if acc is not None:
+                    acc.requeued += 1
+            elif acc is not None:
+                acc.served += 1
         sojourn = outcome.sojourn_seconds
         self.sojourn_sum += sojourn
         self.wait_sum += outcome.wait_seconds
         if self.slo_seconds is not None and sojourn > self.slo_seconds:
             self.violations += 1
         self.quantiles.add(sojourn)
+        if acc is not None:
+            acc.sojourn_sum += sojourn
+            acc.quantiles.add(sojourn)
+            slo = self.tenant_slos.get(tenant)
+            if slo is not None and sojourn > slo:
+                acc.violations += 1
 
     def fold_served_arrays(self, sojourns: np.ndarray, waits: np.ndarray) -> None:
         """Fold one chunk of served-disposition requests (vectorized path)."""
@@ -209,6 +258,38 @@ class StreamingLoadCollector:
 
     def note_depth(self, now: float, depth: int) -> None:
         self.depth.observe(now, depth)
+
+    def tenant_rows(self) -> list[dict]:
+        """Per-tenant rows mirroring :func:`~repro.engine.flstore.build_tenant_rows`.
+
+        Same columns and conservation invariant (``served + requeued +
+        degraded + shed == offered``); the two percentile columns carry the
+        sketch's ~1% error instead of exact order statistics.
+        """
+        if not self._tenants:
+            return []
+        total_finished = sum(acc.finished for acc in self._tenants.values())
+        rows = []
+        for tenant in sorted(self._tenants):
+            acc = self._tenants[tenant]
+            finished = acc.finished
+            rows.append(
+                {
+                    "tenant": tenant,
+                    "offered": acc.offered,
+                    "served": acc.served,
+                    "requeued": acc.requeued,
+                    "degraded": acc.degraded,
+                    "shed": acc.shed,
+                    "service_share": finished / total_finished if total_finished else 0.0,
+                    "mean_sojourn_seconds": acc.sojourn_sum / finished if finished else 0.0,
+                    "p50_sojourn_seconds": acc.quantiles.quantile(0.50) if finished else 0.0,
+                    "p99_sojourn_seconds": acc.quantiles.quantile(0.99) if finished else 0.0,
+                    "violation_rate": acc.violations / finished if finished else 0.0,
+                    "slo_seconds": self.tenant_slos.get(tenant),
+                }
+            )
+        return rows
 
     def note_completion_time(self, completed_at: float) -> None:
         if completed_at > self.last_completion:
@@ -268,6 +349,7 @@ class StreamingLoadCollector:
             shed_rate=self.shed / submitted if submitted else 0.0,
             violation_rate=self.violations / completed if completed else 0.0,
             slo_seconds=self.slo_seconds,
+            tenant_rows=self.tenant_rows(),
             outcomes=[],
         )
 

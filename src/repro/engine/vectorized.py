@@ -96,6 +96,10 @@ def explain_fast_path(spec) -> list[str]:
             f"tier.admission.max_queue_depth={spec.tier.admission.max_queue_depth} bounds "
             "admission (needs 0 = unbounded)"
         )
+    if spec.tenants:
+        reasons.append(
+            f"{len(spec.tenants)} tenant(s) need per-flow scheduling and SLO accounting"
+        )
     if spec.faults:
         reasons.append(f"{len(spec.faults)} fault clause(s) mutate the tier mid-run")
     if spec.remediation.enabled:

@@ -43,6 +43,7 @@ from repro.scenario.spec import (
     ReplicationSpec,
     ScenarioSpec,
     ScenarioValidationError,
+    TenantSpec,
     TierSpec,
     WorkloadMixSpec,
     apply_overrides,
@@ -62,6 +63,7 @@ __all__ = [
     "RunReport",
     "ScenarioSpec",
     "ScenarioValidationError",
+    "TenantSpec",
     "Tier",
     "TierSpec",
     "WorkloadMixSpec",

@@ -17,6 +17,8 @@ identical to their pre-spec outputs.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -29,6 +31,7 @@ from repro.engine.autoscale import (
     AutoscaleConfig,
     Autoscaler,
     AutoscaleSummary,
+    ScaleEvent,
     make_autoscaler_policy,
 )
 from repro.engine.faults import (
@@ -130,14 +133,28 @@ def calibrate_mean_service_seconds(
 
 
 def calibrate(spec: ScenarioSpec) -> float:
-    """The spec's calibrated mean service time (honouring any pinned value)."""
+    """The spec's calibrated mean service time (honouring any pinned value).
+
+    Multi-tenant specs calibrate over the union of the tenants' workload
+    mixes and their combined request count — one ``E[S]`` shared by every
+    tenant's rate and SLO math, so tenant weights change scheduling, never
+    the calibration.
+    """
     if spec.mean_service_seconds is not None:
         return spec.mean_service_seconds
+    if spec.tenants:
+        workloads = tuple(
+            sorted({name for tenant in spec.tenants for name in tenant.workloads})
+        )
+        num_requests = sum(tenant.num_requests for tenant in spec.tenants)
+    else:
+        workloads = spec.workload.workloads
+        num_requests = spec.workload.num_requests
     return calibrate_mean_service_seconds(
         spec.model,
-        spec.workload.workloads,
+        workloads,
         spec.num_rounds,
-        spec.workload.num_requests,
+        num_requests,
         spec.seed,
     )
 
@@ -220,6 +237,23 @@ def build_tier(spec: ScenarioSpec) -> Tier:
             replication_factor=spec.tier.replication.factor,
             replication_policy=spec.tier.replication.policy,
             hot_threshold=spec.tier.replication.hot_threshold,
+        )
+    if spec.tenants:
+        store.configure_tenants(
+            {tenant.name: tenant.weight for tenant in spec.tenants},
+            {
+                tenant.name: (
+                    tenant.slo_multiplier * mean_service if tenant.slo_multiplier else None
+                )
+                for tenant in spec.tenants
+            },
+        )
+    if autoscaler is not None and spec.tier.autoscaler.policy == "slo":
+        # The SLO policy acts on violation deltas; arm tier-lifetime
+        # violation counting against the spec's SLO (per-tenant SLOs, when
+        # configured above, take precedence per tenant).
+        store.watch_slo_seconds = (
+            spec.slo_multiplier * mean_service if spec.slo_multiplier else None
         )
     fault_plan = None
     if spec.faults:
@@ -356,6 +390,10 @@ class RunReport:
     remediation: RemediationSummary | None = None
     #: Windowed goodput analysis around the first fault onset, faulted runs only.
     recovery: RecoveryMetrics | None = None
+    #: Per-tenant breakdown rows (``LoadReport.tenant_rows``), multi-tenant
+    #: runs only.  Each row conserves ``served + requeued + degraded +
+    #: shed == offered`` for its tenant.
+    tenants: list[dict] | None = None
 
     def row(self) -> dict:
         """One flat result row (tables, CSV/JSON export, sweep grids)."""
@@ -389,7 +427,147 @@ class RunReport:
             row.update(self.recovery.row())
         if self.remediation is not None:
             row.update(self.remediation.row())
+        if self.tenants:
+            for tenant_row in self.tenants:
+                name = tenant_row["tenant"]
+                row[f"{name}_p99"] = tenant_row["p99_sojourn_seconds"]
+                row[f"{name}_share"] = tenant_row["service_share"]
+                row[f"{name}_violations"] = tenant_row["violation_rate"]
         return row
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict:
+        """A stable, typed, JSON-ready view of this report.
+
+        ``None``-valued optional sections are omitted (a plain-topology
+        report carries no sharded columns at all), ``outcomes`` are never
+        serialized (reports round-trip; raw rows do not), and nested
+        summaries flatten to plain dicts — so
+        ``RunReport.from_dict(report.to_dict())`` rebuilds an equivalent
+        report and ``to_dict`` of the rebuilt report is byte-identical.
+        """
+        load = dataclasses.asdict(dataclasses.replace(self.load, outcomes=[]))
+        del load["outcomes"]
+        data: dict = {
+            "spec": self.spec.to_dict(),
+            "load": load,
+            "mean_service_seconds": self.mean_service_seconds,
+            "slo_seconds": self.slo_seconds,
+            "offered_rate_rps": self.offered_rate_rps,
+            "conserved": self.conserved,
+            "cached_bytes": self.cached_bytes,
+            "live_keys": self.live_keys,
+            "warm_functions": self.warm_functions,
+        }
+        if self.slo_seconds is None:
+            del data["slo_seconds"]
+        for key in (
+            "max_shard_routed",
+            "replicated_keys",
+            "replica_bytes",
+            "replica_hits",
+            "replica_warm_events",
+            "faults",
+            "tenants",
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                data[key] = value
+        if self.autoscale is not None:
+            data["autoscale"] = dataclasses.asdict(self.autoscale)
+        if self.remediation is not None:
+            summary = dataclasses.asdict(self.remediation)
+            del summary["records"]
+            del summary["anomalies"]
+            data["remediation"] = summary
+        if self.recovery is not None:
+            data["recovery"] = dataclasses.asdict(self.recovery)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """The :meth:`to_dict` view serialized as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        """Rebuild a typed report from a :meth:`to_dict` payload.
+
+        The rebuilt report carries empty ``outcomes`` and (for remediated
+        runs) empty remediation record/anomaly lists — everything
+        :meth:`to_dict` serializes round-trips exactly.
+        """
+        autoscale = None
+        if "autoscale" in data:
+            payload = dict(data["autoscale"])
+            payload["events"] = [ScaleEvent(**event) for event in payload.get("events", [])]
+            autoscale = AutoscaleSummary(**payload)
+        remediation = None
+        if "remediation" in data:
+            remediation = RemediationSummary(**data["remediation"])
+        recovery = None
+        if "recovery" in data:
+            recovery = RecoveryMetrics(**data["recovery"])
+        return cls(
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            load=LoadReport(**data["load"], outcomes=[]),
+            mean_service_seconds=data["mean_service_seconds"],
+            slo_seconds=data.get("slo_seconds"),
+            offered_rate_rps=data["offered_rate_rps"],
+            conserved=data["conserved"],
+            cached_bytes=data["cached_bytes"],
+            live_keys=data["live_keys"],
+            warm_functions=data["warm_functions"],
+            max_shard_routed=data.get("max_shard_routed"),
+            replicated_keys=data.get("replicated_keys"),
+            replica_bytes=data.get("replica_bytes"),
+            replica_hits=data.get("replica_hits"),
+            replica_warm_events=data.get("replica_warm_events"),
+            autoscale=autoscale,
+            faults=data.get("faults"),
+            remediation=remediation,
+            recovery=recovery,
+            tenants=data.get("tenants"),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        """Rebuild a typed report from a :meth:`to_json` string."""
+        return cls.from_dict(json.loads(text))
+
+
+def _merge_tenant_traces(spec: ScenarioSpec, tier: Tier, mean_service: float):
+    """Time-merge every tenant's trace into one open-loop submission block.
+
+    Each tenant draws its own deterministic trace
+    (:meth:`~repro.traces.generator.RequestTraceGenerator.tenant_trace`) and
+    its own arrival process at ``rate_rps`` or ``utilization / E[S]``,
+    seeded per tenant so one tenant's knobs never perturb another's stream.
+    The merged block is sorted by arrival instant (ties in spec tenant
+    order), carries each tenant's spec ``priority``, and reports the
+    aggregate offered rate.
+    """
+    merged: list[tuple[float, int, object, float]] = []
+    total_rate = 0.0
+    for index, tenant in enumerate(spec.tenants):
+        trace = tier.generator.tenant_trace(
+            tenant.name, list(tenant.workloads), tenant.num_requests
+        )
+        if tenant.rate_rps is not None:
+            tenant_rate = tenant.rate_rps
+        else:
+            tenant_rate = tenant.utilization / mean_service
+        total_rate += tenant_rate
+        process = make_arrival_process(
+            tenant.arrival, tenant_rate, seed=spec.seed + index + 1
+        )
+        for at, request in zip(process.times(len(trace)), trace):
+            merged.append((float(at), index, request, tenant.priority))
+    merged.sort(key=lambda item: (item[0], item[1]))
+    trace = [item[2] for item in merged]
+    arrivals = [item[0] for item in merged]
+    priorities = [item[3] for item in merged]
+    return trace, arrivals, priorities, total_rate
 
 
 def run(spec: ScenarioSpec) -> RunReport:
@@ -406,24 +584,31 @@ def run(spec: ScenarioSpec) -> RunReport:
     tier = build_tier(spec)
     mean_service = tier.mean_service_seconds
     slo_seconds = spec.slo_multiplier * mean_service if spec.slo_multiplier else None
-    if spec.arrival.rate_rps is not None:
+    if spec.tenants:
+        trace, arrivals, priorities, rate = _merge_tenant_traces(spec, tier, mean_service)
+    elif spec.arrival.rate_rps is not None:
         rate = spec.arrival.rate_rps
     else:
         rate = spec.arrival.utilization / mean_service
-    arrival_process = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed)
     if fast_path_eligible(spec):
         # The closed-form queueing path: no per-request objects, no event
         # loop — this is what makes million-request specs single-digit
         # seconds (see repro.engine.vectorized for what it approximates).
+        arrival_process = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed)
         report = run_fast_path(
             tier.store, spec, arrival_process, slo_seconds, label=spec.arrival.kind
         )
     else:
-        trace = tier.generator.mixed_trace(
-            list(spec.workload.workloads), spec.workload.num_requests
-        )
-        arrivals = arrival_process.times(len(trace))
+        if not spec.tenants:
+            arrival_process = make_arrival_process(spec.arrival.kind, rate, seed=spec.seed)
+            trace = tier.generator.mixed_trace(
+                list(spec.workload.workloads), spec.workload.num_requests
+            )
+            arrivals = arrival_process.times(len(trace))
+            priorities = None
         extras: dict = {}
+        if priorities is not None:
+            extras["priorities"] = priorities
         if tier.fault_plan is not None:
             extras["fault_plan"] = tier.fault_plan
         if tier.remediation is not None:
@@ -500,4 +685,5 @@ def run(spec: ScenarioSpec) -> RunReport:
         faults=tier.fault_plan.summary() if tier.fault_plan is not None else None,
         remediation=tier.remediation.summary() if tier.remediation is not None else None,
         recovery=recovery,
+        tenants=report.tenant_rows or None,
     )

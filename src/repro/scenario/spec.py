@@ -250,6 +250,70 @@ class FaultSpec:
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant sharing the serving tier with its own traffic and SLO.
+
+    A tenant is a *flow*: its requests are generated from its own workload
+    mix and arrival process (seeded independently, so adding a tenant never
+    perturbs another tenant's trace), tagged with ``tenant_id == name``, and
+    scheduled against other tenants by the tier's queue discipline —
+    ``wfq``/``drr`` serve backlogged tenants in proportion to ``weight``,
+    ``priority`` orders the ``priority`` discipline, and FIFO ignores both.
+
+    ``slo_multiplier`` scales the tier's calibrated mean service time into
+    this tenant's own sojourn SLO (0 disables violation accounting for the
+    tenant); per-tenant violation rates feed the ``slo`` autoscaler policy
+    and SLO-aware push-out shedding.
+
+    All fields are flat scalars (plus a string list) so a tenant can be one
+    ``[[tenants]]`` table in a TOML spec.
+    """
+
+    name: str = ""
+    workloads: tuple[str, ...] = DEFAULT_SCENARIO_WORKLOADS
+    num_requests: int = 60
+    #: Arrival process kind (one of :data:`repro.traces.arrivals.ARRIVAL_KINDS`).
+    arrival: str = "poisson"
+    #: Offered load as a multiple of the tier's calibrated service rate.
+    utilization: float = 1.0
+    #: Explicit offered rate; overrides ``utilization`` when set.
+    rate_rps: float | None = None
+    #: Sojourn SLO as a multiple of the calibrated mean service time (0 = none).
+    slo_multiplier: float = 3.0
+    #: Orders the ``priority`` discipline (lower served first).
+    priority: float = 0.0
+    #: Fair share under ``wfq``/``drr`` (service in proportion to weight).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            _fail(f"TenantSpec.name must be a non-empty string, got {self.name!r}")
+        if isinstance(self.workloads, str):
+            object.__setattr__(
+                self, "workloads", tuple(w.strip() for w in self.workloads.split(",") if w.strip())
+            )
+        else:
+            object.__setattr__(self, "workloads", tuple(self.workloads))
+        if not self.workloads:
+            _fail(f"TenantSpec.workloads must name at least one workload (tenant {self.name!r})")
+        registered = set(list_workloads())
+        unknown = sorted(set(self.workloads) - registered)
+        if unknown:
+            _fail(
+                f"unknown workloads {unknown} for tenant {self.name!r}; "
+                f"registered workloads: {sorted(registered)}"
+            )
+        _coerce_int(self, "num_requests", minimum=1)
+        _check_choice(self, "arrival", ARRIVAL_KINDS)
+        _coerce_float(self, "utilization", minimum=0.0, exclusive=True)
+        if self.rate_rps is not None:
+            _coerce_float(self, "rate_rps", minimum=0.0, exclusive=True)
+        _coerce_float(self, "slo_multiplier", minimum=0.0)
+        _coerce_float(self, "priority")
+        _coerce_float(self, "weight", minimum=0.0, exclusive=True)
+
+
+@dataclass(frozen=True)
 class RemediationSpec:
     """Whether (and how) the remediation controller guards the tier.
 
@@ -351,6 +415,12 @@ class ScenarioSpec:
     tier: TierSpec = field(default_factory=TierSpec)
     #: Fault clauses scheduled on the run's virtual timeline (empty = healthy).
     faults: tuple[FaultSpec, ...] = ()
+    #: Tenants sharing the tier.  Empty (the default) is the single-tenant
+    #: scenario: the trace comes from ``workload``/``arrival`` exactly as
+    #: before.  Non-empty *replaces* them: the offered stream is the
+    #: time-merge of every tenant's own trace and arrival process, tagged
+    #: with ``tenant_id``, with per-tenant SLOs, weights, and report rows.
+    tenants: tuple[TenantSpec, ...] = ()
     #: The closed-loop remediation controller guarding the tier.
     remediation: RemediationSpec = field(default_factory=RemediationSpec)
     #: Sojourn-time SLO as a multiple of the calibrated mean service time;
@@ -404,6 +474,14 @@ class ScenarioSpec:
                         f"{self.tier.shards}-shard tier would crash the last "
                         "shard; at least one shard must survive"
                     )
+        object.__setattr__(self, "tenants", tuple(self.tenants))
+        seen_tenants: set[str] = set()
+        for index, tenant in enumerate(self.tenants):
+            if not isinstance(tenant, TenantSpec):
+                _fail(f"ScenarioSpec.tenants[{index}] must be a TenantSpec, got {tenant!r}")
+            if tenant.name in seen_tenants:
+                _fail(f"duplicate tenant name {tenant.name!r}; tenant names must be unique")
+            seen_tenants.add(tenant.name)
         if not isinstance(self.remediation, RemediationSpec):
             _fail(
                 f"ScenarioSpec.remediation must be a RemediationSpec, "
@@ -474,6 +552,20 @@ class ScenarioSpec:
                 }
                 for clause in self.faults
             ],
+            "tenants": [
+                {
+                    "name": tenant.name,
+                    "workloads": list(tenant.workloads),
+                    "num_requests": tenant.num_requests,
+                    "arrival": tenant.arrival,
+                    "utilization": tenant.utilization,
+                    "rate_rps": tenant.rate_rps,
+                    "slo_multiplier": tenant.slo_multiplier,
+                    "priority": tenant.priority,
+                    "weight": tenant.weight,
+                }
+                for tenant in self.tenants
+            ],
             "remediation": {
                 "enabled": self.remediation.enabled,
                 "control_interval_seconds": self.remediation.control_interval_seconds,
@@ -522,6 +614,13 @@ class ScenarioSpec:
             _build_section(clause, FaultSpec, f"faults[{index}]")
             for index, clause in enumerate(faults_tree)
         )
+        tenants_tree = tree.pop("tenants", [])
+        if isinstance(tenants_tree, Mapping) or not isinstance(tenants_tree, Sequence):
+            _fail(f"tenants must be an array of tables/objects, got {tenants_tree!r}")
+        tenants = tuple(
+            _build_section(entry, TenantSpec, f"tenants[{index}]")
+            for index, entry in enumerate(tenants_tree)
+        )
         remediation = _build_section(
             tree.pop("remediation", {}), RemediationSpec, "remediation"
         )
@@ -533,6 +632,7 @@ class ScenarioSpec:
             arrival=arrival,
             tier=tier,
             faults=faults,
+            tenants=tenants,
             remediation=remediation,
         )
 
@@ -662,19 +762,43 @@ def coerce_override(value: Any, current: Any, key: str) -> Any:
     return text
 
 
+def _descend(node: Any, part: str) -> Any:
+    """One dotted-path step: a dict key, or an element of a table array.
+
+    Table-array elements (``tenants``, ``faults``) are addressed by their
+    ``name`` field when they have one (``tenants.bursty.weight``) or by
+    zero-based position (``faults.0.magnitude``).
+    """
+    if isinstance(node, dict):
+        return node.get(part)
+    if isinstance(node, list):
+        for item in node:
+            if isinstance(item, dict) and item.get("name") == part:
+                return item
+        try:
+            index = int(part)
+        except ValueError:
+            return None
+        if 0 <= index < len(node):
+            return node[index]
+    return None
+
+
 def _resolve_leaf(tree: dict, key: str) -> tuple[dict, str]:
     """Resolve a dotted path to its ``(parent dict, leaf key)`` in ``tree``.
 
     The single definition of what a settable spec field *is*: unknown paths
     and non-leaf (section) paths raise :class:`ScenarioValidationError`.
-    Shared by :func:`apply_overrides` and the CLI's ``--set``/``--sweep``
-    surfaces so the two can never diverge.
+    Paths may traverse table arrays by element name or index
+    (``tenants.bursty.weight``, ``tenants.0.weight``).  Shared by
+    :func:`apply_overrides` and the CLI's ``--set``/``--sweep`` surfaces so
+    the two can never diverge.
     """
     parts = key.split(".")
     node: Any = tree
     for part in parts[:-1]:
-        child = node.get(part) if isinstance(node, dict) else None
-        if not isinstance(child, dict):
+        child = _descend(node, part)
+        if not isinstance(child, (dict, list)):
             _fail(f"unknown scenario field {key!r}")
         node = child
     leaf = parts[-1]

@@ -32,6 +32,7 @@ _CALIBRATION_PREFIXES: tuple[str, ...] = (
     "num_rounds",
     "workload.",
     "mean_service_seconds",
+    "tenants",
 )
 
 

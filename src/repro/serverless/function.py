@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import enum
 import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator
 
 from repro.cloud.payload import payload_size_bytes
 from repro.common.errors import CapacityError, DataNotFoundError, FunctionReclaimedError
 from repro.common.units import GB
+from repro.config import QUEUE_DISCIPLINES
 
 
 class FunctionState(enum.Enum):
@@ -33,12 +35,26 @@ class _ResidentObject:
 
 
 class RequestQueue:
-    """A FIFO or priority queue of opaque waiter tokens, optionally bounded.
+    """A queue of opaque waiter tokens under one of four disciplines.
 
     The discrete-event engine parks one token per request waiting for an
-    execution slot on a function.  Ordering is deterministic: FIFO pops in
-    arrival order; priority pops by ``(priority, arrival sequence)`` with
-    lower priority values first, so equal priorities degrade to FIFO.
+    execution slot on a function.  Ordering is deterministic under every
+    discipline:
+
+    * ``fifo`` pops in arrival order.
+    * ``priority`` pops by ``(priority, arrival sequence)`` with lower
+      priority values first, so equal priorities degrade to FIFO.
+    * ``wfq`` is self-clocked weighted fair queueing over *flows* (tenant
+      ids): each push is stamped with a virtual finish time
+      ``max(vtime, flow's last finish) + 1/weight`` and pops run in finish
+      order, so backlogged flows share service in proportion to weight.
+    * ``drr`` is deficit round robin over flows: each flow banks a quantum
+      equal to its weight once per rotation and serves requests while its
+      deficit covers them, giving the same weighted shares with O(1) pops.
+
+    Tokens pushed without a flow belong to the anonymous flow ``None`` at
+    weight 1.0, which makes single-tenant behaviour under ``wfq``/``drr``
+    degrade to FIFO.
 
     ``capacity`` bounds the queue for admission control: pushing onto a full
     queue raises :class:`CapacityError`, and the admission layer is expected
@@ -46,25 +62,59 @@ class RequestQueue:
     the queue unbounded).
     """
 
-    __slots__ = ("discipline", "capacity", "_heap", "_seq")
+    __slots__ = (
+        "discipline",
+        "capacity",
+        "_heap",
+        "_seq",
+        "_size",
+        "_vtime",
+        "_flow_finish",
+        "_flows",
+        "_active",
+        "_deficit",
+        "_quantum",
+    )
 
     def __init__(self, discipline: str = "fifo", capacity: int = 0) -> None:
-        if discipline not in ("fifo", "priority"):
+        if discipline not in QUEUE_DISCIPLINES:
             raise ValueError(f"unknown queue discipline {discipline!r}")
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0 (0 means unbounded), got {capacity}")
         self.discipline = discipline
         self.capacity = int(capacity)
-        self._heap: list[tuple[float, int, Any]] = []
+        #: fifo/priority/wfq entries: ``(key, seq, token, flow)``.
+        self._heap: list[tuple[float, int, Any, Hashable]] = []
         self._seq = 0
+        self._size = 0
+        # wfq state: the system virtual time (finish tag of the last pop) and
+        # each flow's last assigned finish tag.
+        self._vtime = 0.0
+        self._flow_finish: dict[Hashable, float] = {}
+        # drr state: per-flow FIFO backlogs, the round-robin rotation, and
+        # per-flow deficit counters / quanta (quantum == configured weight).
+        self._flows: dict[Hashable, deque[Any]] = {}
+        self._active: deque[Hashable] = deque()
+        self._deficit: dict[Hashable, float] = {}
+        self._quantum: dict[Hashable, float] = {}
 
     @property
     def full(self) -> bool:
         """Whether the queue is at its capacity bound (never true when unbounded)."""
-        return self.capacity > 0 and len(self._heap) >= self.capacity
+        return self.capacity > 0 and self._size >= self.capacity
 
-    def push(self, token: Any, priority: float = 0.0) -> None:
-        """Enqueue ``token`` (``priority`` is ignored under FIFO).
+    def push(
+        self,
+        token: Any,
+        priority: float = 0.0,
+        flow: Hashable = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Enqueue ``token``.
+
+        ``priority`` orders only the ``priority`` discipline; ``flow`` and
+        ``weight`` matter only to ``wfq``/``drr`` (the flow's weight is the
+        one given with its first queued request of a busy period).
 
         Raises
         ------
@@ -76,25 +126,121 @@ class RequestQueue:
                 f"request queue is at its capacity bound ({self.capacity}); "
                 "the admission controller should have shed this request"
             )
-        key = priority if self.discipline == "priority" else 0.0
-        heapq.heappush(self._heap, (key, self._seq, token))
+        if weight <= 0.0:
+            raise ValueError(f"flow weight must be positive, got {weight}")
+        if self.discipline == "drr":
+            backlog = self._flows.get(flow)
+            if backlog is None:
+                backlog = self._flows[flow] = deque()
+                self._active.append(flow)
+                self._deficit.setdefault(flow, 0.0)
+            self._quantum[flow] = weight
+            backlog.append(token)
+        else:
+            if self.discipline == "priority":
+                key = priority
+            elif self.discipline == "wfq":
+                start = max(self._vtime, self._flow_finish.get(flow, 0.0))
+                key = start + 1.0 / weight
+                self._flow_finish[flow] = key
+            else:
+                key = 0.0
+            heapq.heappush(self._heap, (key, self._seq, token, flow))
         self._seq += 1
+        self._size += 1
 
     def pop(self) -> Any:
         """Dequeue the next token (raises ``IndexError`` when empty)."""
-        return heapq.heappop(self._heap)[2]
+        if self.discipline == "drr":
+            return self._pop_drr()
+        key, _seq, token, _flow = heapq.heappop(self._heap)
+        if self.discipline == "wfq" and key > self._vtime:
+            self._vtime = key
+        self._size -= 1
+        return token
+
+    def _pop_drr(self) -> Any:
+        if not self._active:
+            raise IndexError("pop from an empty request queue")
+        while True:
+            flow = self._active[0]
+            if self._deficit.get(flow, 0.0) >= 1.0:
+                self._deficit[flow] -= 1.0
+                backlog = self._flows[flow]
+                token = backlog.popleft()
+                if not backlog:
+                    # An emptied flow leaves the rotation and forfeits its
+                    # banked deficit (no credit accrues while idle).
+                    self._active.popleft()
+                    del self._flows[flow]
+                    self._deficit.pop(flow, None)
+                self._size -= 1
+                return token
+            # The head flow's deficit cannot cover a request: bank one
+            # quantum and rotate.  Quanta are positive, so this terminates.
+            self._deficit[flow] = self._deficit.get(flow, 0.0) + self._quantum.get(flow, 1.0)
+            self._active.rotate(-1)
+
+    def evict(self, flow: Hashable) -> Any | None:
+        """Remove and return ``flow``'s most recently enqueued token, if any.
+
+        This is the admission controller's push-out primitive: under
+        SLO-aware shedding a full queue evicts the newest request of the
+        worst-violating flow instead of the arriving one.  Returns ``None``
+        when the flow has nothing queued.
+        """
+        if self.discipline == "drr":
+            backlog = self._flows.get(flow)
+            if not backlog:
+                return None
+            token = backlog.pop()
+            if not backlog:
+                try:
+                    self._active.remove(flow)
+                except ValueError:  # pragma: no cover - rotation always holds it
+                    pass
+                del self._flows[flow]
+                self._deficit.pop(flow, None)
+            self._size -= 1
+            return token
+        candidates = [entry for entry in self._heap if entry[3] == flow]
+        if not candidates:
+            return None
+        entry = max(candidates)
+        self._heap.remove(entry)
+        heapq.heapify(self._heap)
+        if self.discipline == "wfq":
+            remaining = [e[0] for e in self._heap if e[3] == flow]
+            self._flow_finish[flow] = max(remaining) if remaining else self._vtime
+        self._size -= 1
+        return entry[2]
+
+    def queued_flows(self) -> dict[Hashable, int]:
+        """Backlog size per flow (``None`` keys the anonymous flow)."""
+        if self.discipline == "drr":
+            return {flow: len(backlog) for flow, backlog in self._flows.items()}
+        counts: dict[Hashable, int] = {}
+        for entry in self._heap:
+            counts[entry[3]] = counts.get(entry[3], 0) + 1
+        return counts
 
     def drain(self) -> list[Any]:
         """Remove and return every queued token in pop order."""
+        if self.discipline == "drr":
+            drained = []
+            while self._size:
+                drained.append(self._pop_drr())
+            return drained
         drained = [entry[2] for entry in sorted(self._heap)]
         self._heap.clear()
+        self._size = 0
         return drained
 
     def __len__(self) -> int:
-        return len(self._heap)
+        return self._size
 
     def __bool__(self) -> bool:
-        return bool(self._heap)
+        return self._size > 0
 
 
 #: Module-level alias: avoids an enum descriptor lookup per liveness check.

@@ -353,9 +353,39 @@ class ServerlessPlatform:
         function.begin_execution()
         return True
 
-    def enqueue_waiter(self, function_id: str, token: object, priority: float = 0.0) -> None:
-        """Park ``token`` until :meth:`release_slot` hands it a freed slot."""
-        self.request_queue(function_id).push(token, priority)
+    def enqueue_waiter(
+        self,
+        function_id: str,
+        token: object,
+        priority: float = 0.0,
+        flow: object = None,
+        weight: float = 1.0,
+    ) -> None:
+        """Park ``token`` until :meth:`release_slot` hands it a freed slot.
+
+        ``flow``/``weight`` identify the tenant flow for the ``wfq``/``drr``
+        disciplines; untagged requests share the anonymous flow at weight 1.
+        """
+        self.request_queue(function_id).push(token, priority, flow=flow, weight=weight)
+
+    def evict_waiter(self, flow: object) -> object | None:
+        """Evict the newest queued waiter of ``flow`` from any function queue.
+
+        The push-out primitive of SLO-aware shedding: scans the fleet's
+        queues for the flow's most recently enqueued token and removes it so
+        the admission layer can shed that request instead of an arriving one.
+        Returns the evicted token, or ``None`` when the flow has no waiter.
+        """
+        best_queue = None
+        best_depth = -1
+        for queue in self._queues.values():
+            depth = queue.queued_flows().get(flow, 0)
+            if depth > best_depth and depth > 0:
+                best_queue = queue
+                best_depth = depth
+        if best_queue is None:
+            return None
+        return best_queue.evict(flow)
 
     def release_slot(self, function_id: str) -> object | None:
         """Free one slot on ``function_id``; returns the next waiter granted it.

@@ -167,6 +167,38 @@ class RequestTraceGenerator:
         each round before advancing (default: one per listed workload).
         Serving/inference (P1) requests always target the newest round.
         """
+        rng = derive_rng(self.seed, "mixed-trace")
+        return self._mixture(workload_names, num_requests, rng, None, weights, requests_per_round)
+
+    def tenant_trace(
+        self,
+        tenant_id: str,
+        workload_names: list[str],
+        num_requests: int,
+        weights: list[float] | None = None,
+        requests_per_round: int | None = None,
+    ) -> list[WorkloadRequest]:
+        """A tenant's own mixed trace, tagged with ``tenant_id``.
+
+        Draws from a per-tenant RNG stream derived from the generator seed
+        and the tenant id, so each tenant's trace is independent of every
+        other tenant's — and the untagged :meth:`mixed_trace` stream is
+        never perturbed by adding tenants.
+        """
+        rng = derive_rng(self.seed, "tenant-trace", tenant_id)
+        return self._mixture(
+            workload_names, num_requests, rng, tenant_id, weights, requests_per_round
+        )
+
+    def _mixture(
+        self,
+        workload_names: list[str],
+        num_requests: int,
+        rng: np.random.Generator,
+        tenant_id: str | None,
+        weights: list[float] | None,
+        requests_per_round: int | None,
+    ) -> list[WorkloadRequest]:
         if not workload_names:
             raise ValueError("workload_names must not be empty")
         if weights is not None and len(weights) != len(workload_names):
@@ -174,7 +206,6 @@ class RequestTraceGenerator:
         rounds = self.catalog.rounds()
         if not rounds:
             raise ValueError("the catalog has no registered rounds; ingest rounds first")
-        rng = derive_rng(self.seed, "mixed-trace")
         probabilities = None
         if weights is not None:
             weights_array = np.asarray(weights, dtype=float)
@@ -199,6 +230,7 @@ class RequestTraceGenerator:
                     workload=name,
                     round_id=request_round,
                     client_id=client_id,
+                    tenant_id=tenant_id,
                 )
             )
         return trace

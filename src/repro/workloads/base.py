@@ -53,6 +53,8 @@ class WorkloadRequest:
     #: For across-round workloads: how many past rounds of history to examine.
     history_rounds: int = 2
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: The tenant this request belongs to (``None`` on single-tenant traces).
+    tenant_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.round_id < 0:

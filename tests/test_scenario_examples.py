@@ -42,8 +42,21 @@ def test_example_file_matches_registered_scenario(path):
 @pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
 def test_example_spec_smoke_runs_and_conserves(path):
     spec = smoke_spec(ScenarioSpec.load(path), num_rounds=3, num_requests=8)
+    expected = (
+        sum(tenant.num_requests for tenant in spec.tenants)
+        if spec.tenants
+        else spec.workload.num_requests
+    )
     report = run(spec)  # run() raises if conservation is violated
     assert report.conserved is True
-    assert report.load.submitted == 8
+    assert report.load.submitted == expected
     row = report.row()
-    assert row["served"] + row["shed"] + row["degraded"] == 8
+    assert row["served"] + row["shed"] + row["degraded"] == expected
+    for tenant_row in report.tenants or []:
+        assert (
+            tenant_row["served"]
+            + tenant_row["requeued"]
+            + tenant_row["degraded"]
+            + tenant_row["shed"]
+            == tenant_row["offered"]
+        )
