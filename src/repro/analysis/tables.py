@@ -50,6 +50,40 @@ def format_table(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | Non
     return "\n".join(lines)
 
 
+def union_columns(rows: Sequence[Mapping[str, Any]]) -> list[str]:
+    """The union of all row keys, in first-seen order (CSV/Markdown column order)."""
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None
+) -> str:
+    """Render ``rows`` as a GitHub-flavored Markdown table.
+
+    The report generator's rendering: columns default to the union of row
+    keys in first-seen order (report rows are heterogeneous across
+    experiments), missing cells render empty, and values share
+    :func:`format_table`'s number formatting so the Markdown and plain-text
+    views of the same rows never disagree.
+    """
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns is not None else union_columns(rows)
+    lines = [
+        "| " + " | ".join(str(col) for col in columns) + " |",
+        "| " + " | ".join("---" for _ in columns) + " |",
+    ]
+    for row in rows:
+        cells = [_format_value(row[col]) if col in row else "" for col in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
 def format_mapping(mapping: Mapping[str, Any], title: str | None = None) -> str:
     """Render a flat ``name -> value`` mapping as two-column rows."""
     rows = [{"name": key, "value": value} for key, value in mapping.items()]

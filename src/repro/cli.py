@@ -15,6 +15,9 @@ Usage examples::
     python -m repro.cli run-scenario --name jsq-hotkey --set tier.shards=8
     python -m repro.cli run-scenario --spec examples/scenarios/sharded_burst.json \
         --sweep tier.router_kind=consistent-hash,jsq
+    python -m repro.cli run-missing --artifacts artifacts --parallel
+    python -m repro.cli run-missing --dry-run         # plan only: what would run and why
+    python -m repro.cli report --artifacts artifacts --out report
     python -m repro.cli workloads                     # show the workload taxonomy
 """
 
@@ -33,6 +36,14 @@ from repro.analysis.perf import tune_gc
 from repro.analysis.runner import set_max_workers
 from repro.analysis.tables import format_table
 from repro.config import QUEUE_DISCIPLINES, SHED_POLICIES
+from repro.fleet import (
+    ArtifactStore,
+    FleetError,
+    default_fleet,
+    generate_report,
+    load_fleet,
+    run_missing,
+)
 from repro.engine.autoscale import AUTOSCALER_KINDS
 from repro.engine.faults import FAULT_KINDS
 from repro.engine.sharded import REPLICATION_POLICIES
@@ -341,6 +352,28 @@ def _add_worker_and_out_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fleet_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--artifacts",
+        type=str,
+        default="artifacts",
+        help="artifact directory holding the run manifest (default: artifacts)",
+    )
+    parser.add_argument(
+        "--fleet",
+        type=str,
+        default=None,
+        help="JSON fleet definition file (default: the standing fleet derived "
+        "from the scenario registry)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="plan the smoke variant of every cell (shrunk rounds/requests; "
+        "smoke cells never collide with full-size ones)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -379,6 +412,14 @@ def _build_parser() -> argparse.ArgumentParser:
                 help=f"{info.help} [spec: {info.key}]",
             )
         _add_worker_and_out_flags(sweep_parser)
+        sweep_parser.add_argument(
+            "--save-artifact",
+            type=str,
+            default=None,
+            metavar="DIR",
+            help="record the sweep rows as a versioned artifact under DIR "
+            "(keyed by the full flag set; identical re-runs overwrite in place)",
+        )
 
     scenario = sub.add_parser(
         "run-scenario",
@@ -423,6 +464,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrink rounds/requests for a fast end-to-end validation run (CI uses this)",
     )
     _add_worker_and_out_flags(scenario)
+    scenario.add_argument(
+        "--save-artifact",
+        type=str,
+        default=None,
+        metavar="DIR",
+        help="record the result rows as a versioned artifact under DIR "
+        "(keyed by the full flag set; identical re-runs overwrite in place)",
+    )
+
+    missing = sub.add_parser(
+        "run-missing",
+        help="run only the fleet cells whose artifacts are absent or stale",
+        description=(
+            "Plan every cell of the evaluation fleet (each registered scenario "
+            "plus the standing sweeps), compare each against the content-"
+            "addressed run manifest, and execute only the cells whose artifact "
+            "is missing, whose spec hash changed, or whose code fingerprint "
+            "changed.  Everything else is reused as-is.  Run twice back to "
+            "back, the second invocation executes zero cells."
+        ),
+    )
+    _add_fleet_flags(missing)
+    missing.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="print the plan (which cells would run and why) without running anything",
+    )
+    missing.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan cell runs out to this many worker processes",
+    )
+    missing.add_argument(
+        "--parallel", action="store_true", help="shorthand for --workers <CPU count>"
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the evaluation report from recorded artifacts (never re-runs)",
+        description=(
+            "Render the fleet's Markdown + per-experiment CSV report purely "
+            "from artifacts recorded in the run manifest.  A missing or stale "
+            "cell fails the report with the exact run-missing command that "
+            "repairs it; nothing is ever re-run implicitly."
+        ),
+    )
+    _add_fleet_flags(report)
+    report.add_argument(
+        "--out",
+        type=str,
+        default=None,
+        help="report output directory (default: <artifacts>/report)",
+    )
     return parser
 
 
@@ -525,6 +620,76 @@ def _run_scenario_command(args) -> int:
         else:
             path = export_json(result, args.out)
         print(f"wrote {path}")
+    _maybe_save_sweep_artifact(args, rows)
+    return 0
+
+
+#: argparse attributes that are execution mechanics, not sweep semantics —
+#: excluded from the parameter set that keys a recorded sweep artifact.
+_NON_SEMANTIC_ARGS = ("command", "workers", "parallel", "out", "save_artifact", "list")
+
+
+def _maybe_save_sweep_artifact(args, rows: list[dict]) -> None:
+    """Record a sweep's rows through the artifact store (``--save-artifact``)."""
+    directory = getattr(args, "save_artifact", None)
+    if not directory:
+        return
+    params = {
+        key: value for key, value in vars(args).items() if key not in _NON_SEMANTIC_ARGS
+    }
+    store = ArtifactStore(directory)
+    path = store.record_sweep(args.command, params, rows)
+    print(f"recorded sweep artifact {path}")
+
+
+def _fleet_experiments(args):
+    return load_fleet(args.fleet) if args.fleet else default_fleet()
+
+
+def _run_missing_command(args) -> int:
+    """The ``run-missing`` subcommand: execute only absent/stale fleet cells."""
+    try:
+        experiments = _fleet_experiments(args)
+        store = ArtifactStore(args.artifacts)
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    workers = args.workers
+    if workers is None and args.parallel:
+        workers = os.cpu_count() or 1
+    tune_gc()
+    summary = run_missing(
+        experiments, store, smoke=args.smoke, workers=workers, dry_run=args.dry_run
+    )
+    title = "Fleet plan (dry run)" if args.dry_run else "Fleet run"
+    print(format_table(summary["cells"], columns=["cell", "status", "action"], title=title))
+    print(
+        "summary:",
+        {
+            key: summary[key]
+            for key in ("planned", "ran", "reused", "stale", "missing", "dry_run")
+        },
+    )
+    return 0
+
+
+def _report_command(args) -> int:
+    """The ``report`` subcommand: render Markdown + CSV from stored artifacts."""
+    try:
+        experiments = _fleet_experiments(args)
+        store = ArtifactStore(args.artifacts)
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = args.out if args.out else os.path.join(args.artifacts, "report")
+    try:
+        result = generate_report(experiments, store, out_dir, smoke=args.smoke)
+    except FleetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {result['report']}")
+    for experiment, csv_path in result["csv"].items():
+        print(f"wrote {csv_path} ({result['rows'][experiment]} rows)")
     return 0
 
 
@@ -557,6 +722,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "run-scenario":
         return _run_scenario_command(args)
+
+    if args.command == "run-missing":
+        return _run_missing_command(args)
+
+    if args.command == "report":
+        return _report_command(args)
 
     tune_gc()
     if args.command in ("run-load", "run-shard-sweep", "run-autoscale", "run-faults", "run-tenants"):
@@ -699,6 +870,7 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 path = export_json(result, args.out)
             print(f"wrote {path}")
+        _maybe_save_sweep_artifact(args, result["rows"])
         return 0
 
     if args.parallel or args.workers is not None:

@@ -1,0 +1,118 @@
+"""Programmatic report generation from recorded fleet artifacts.
+
+The read side of the fleet: :func:`generate_report` renders the evaluation
+report — the registered-scenario headline table plus every sweep section
+(shard, autoscale, fault-recovery, replication, tenants) — as Markdown and
+per-experiment CSV files, **purely from stored artifacts**.  It never runs a
+scenario: a missing or stale cell fails the report loudly with the exact
+``run-missing`` command that repairs it, which is what keeps the report an
+honest function of the recorded artifact set.
+
+Determinism is a feature, not an accident: rows render in plan order,
+numbers format through the shared table formatter, and nothing time- or
+machine-dependent enters the output — so two reports over the same artifacts
+are byte-identical, and a report regenerated after an incremental
+``run-missing`` changes only where the artifacts changed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.export import export_csv
+from repro.analysis.tables import format_markdown_table
+from repro.fleet.manifest import ArtifactStore, FleetError
+from repro.fleet.runner import FleetCell, FleetExperiment, plan
+from repro.scenario.build import RunReport
+
+#: Filename of the rendered Markdown report inside the output directory.
+REPORT_FILENAME = "report.md"
+
+
+def fix_command(artifacts_dir: str | Path, smoke: bool = False) -> str:
+    """The exact CLI invocation that repairs a failed report."""
+    command = f"PYTHONPATH=src python -m repro.cli run-missing --artifacts {artifacts_dir}"
+    if smoke:
+        command += " --smoke"
+    return command
+
+
+def collect_rows(cells: Sequence[FleetCell], store: ArtifactStore) -> list[dict]:
+    """One flat result row per cell, loaded from its recorded artifact.
+
+    Each row leads with the cell's axes (so sweep tables read axis-first),
+    then carries the stored report's :meth:`~repro.scenario.build.RunReport.
+    row` projection.  Artifacts are parsed through
+    :meth:`RunReport.from_json`, so schema-versioned payloads with unknown
+    future keys still load.
+    """
+    rows = []
+    for cell in cells:
+        report = RunReport.from_json(store.load_cell_json(cell.cell_id))
+        row: dict = {"scenario": cell.scenario}
+        for key, value in cell.axes.items():
+            row[key] = value
+        row.update(report.row())
+        rows.append(row)
+    return rows
+
+
+def generate_report(
+    experiments: Sequence[FleetExperiment],
+    store: ArtifactStore,
+    out_dir: str | Path,
+    smoke: bool = False,
+) -> dict:
+    """Render the fleet's Markdown + CSV report from stored artifacts only.
+
+    Raises :class:`FleetError` — listing every missing/stale cell and the
+    ``run-missing`` command that computes them — rather than silently
+    re-running or rendering a partial report.  Returns a summary dict with
+    the written paths and per-experiment row counts.
+    """
+    cells = plan(experiments, store, smoke=smoke)
+    broken = [cell for cell in cells if cell.status != "fresh"]
+    if broken:
+        listing = "\n".join(f"  - {cell.cell_id} [{cell.status}]" for cell in broken)
+        raise FleetError(
+            f"{len(broken)} of {len(cells)} fleet cells have no fresh artifact:\n"
+            f"{listing}\n"
+            f"run them first:\n  {fix_command(store.root, smoke=smoke)}"
+        )
+    out_dir = Path(out_dir)
+    csv_dir = out_dir / "csv"
+    titles = {experiment.name: experiment.title for experiment in experiments}
+    by_experiment: dict[str, list[FleetCell]] = {}
+    for cell in cells:
+        by_experiment.setdefault(cell.experiment, []).append(cell)
+
+    lines = [
+        "# Evaluation fleet report",
+        "",
+        f"Variant: `{cells[0].variant if cells else 'full'}` · "
+        f"{len(cells)} cells across {len(by_experiment)} experiments, "
+        "rendered entirely from recorded artifacts (no scenario was re-run).",
+        "",
+    ]
+    csv_paths: dict[str, str] = {}
+    row_counts: dict[str, int] = {}
+    for experiment_name, experiment_cells in by_experiment.items():
+        rows = collect_rows(experiment_cells, store)
+        lines.append(f"## {titles.get(experiment_name, experiment_name)}")
+        lines.append("")
+        lines.append(format_markdown_table(rows))
+        lines.append("")
+        csv_path = export_csv(rows, csv_dir / f"{experiment_name}.csv")
+        csv_paths[experiment_name] = str(csv_path)
+        row_counts[experiment_name] = len(rows)
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    report_path = out_dir / REPORT_FILENAME
+    report_path.write_text("\n".join(lines).rstrip("\n") + "\n", encoding="utf-8")
+    return {
+        "report": str(report_path),
+        "csv": csv_paths,
+        "cells": len(cells),
+        "rows": row_counts,
+    }

@@ -352,6 +352,35 @@ def make_shadow_runner(spec: ScenarioSpec, mean_service: float):
     return shadow_runner
 
 
+#: Schema version stamped into every serialized :class:`RunReport`.  Readers
+#: tolerate unknown top-level keys and unknown ``load`` keys, so artifacts
+#: written by a newer schema still load; bump this when a change is *not*
+#: forward-compatible that way.
+RUN_REPORT_SCHEMA_VERSION = 1
+
+
+def attribute_warm_cost(tenant_rows: list[dict], total_cost: float) -> list[dict]:
+    """Split a run's warm-capacity cost across tenants by share of served work.
+
+    The warm-capacity integral is a tier-level quantity (capacity is shared;
+    no slot belongs to a tenant), so attribution is proportional: each tenant
+    carries the fraction of the cost matching its fraction of requests that
+    actually consumed service (``served + requeued``; degraded and shed
+    requests never occupied a warm slot).  An idle tier (nothing served)
+    splits the cost evenly.  Returns new rows carrying ``warm_cost_share``
+    and ``warm_cost_dollars``; shares sum to 1 and dollars to ``total_cost``.
+    """
+    weights = [row["served"] + row["requeued"] for row in tenant_rows]
+    total = sum(weights)
+    attributed = []
+    for row, weight in zip(tenant_rows, weights):
+        share = weight / total if total else 1.0 / len(tenant_rows)
+        attributed.append(
+            dict(row, warm_cost_share=share, warm_cost_dollars=total_cost * share)
+        )
+    return attributed
+
+
 @dataclass
 class RunReport:
     """The typed outcome of one scenario run.
@@ -392,8 +421,14 @@ class RunReport:
     recovery: RecoveryMetrics | None = None
     #: Per-tenant breakdown rows (``LoadReport.tenant_rows``), multi-tenant
     #: runs only.  Each row conserves ``served + requeued + degraded +
-    #: shed == offered`` for its tenant.
+    #: shed == offered`` for its tenant, and carries that tenant's slice of
+    #: the warm-capacity cost (``warm_cost_share`` / ``warm_cost_dollars``,
+    #: see :func:`attribute_warm_cost`).
     tenants: list[dict] | None = None
+    #: Total warm-capacity cost of the run in dollars (the autoscaler's
+    #: provisioned-GB-seconds integral, or the static provisioned capacity
+    #: times the horizon), multi-tenant runs only.
+    warm_capacity_cost_dollars: float | None = None
 
     def row(self) -> dict:
         """One flat result row (tables, CSV/JSON export, sweep grids)."""
@@ -427,12 +462,16 @@ class RunReport:
             row.update(self.recovery.row())
         if self.remediation is not None:
             row.update(self.remediation.row())
+        if self.warm_capacity_cost_dollars is not None:
+            row["warm_capacity_cost_dollars"] = self.warm_capacity_cost_dollars
         if self.tenants:
             for tenant_row in self.tenants:
                 name = tenant_row["tenant"]
                 row[f"{name}_p99"] = tenant_row["p99_sojourn_seconds"]
                 row[f"{name}_share"] = tenant_row["service_share"]
                 row[f"{name}_violations"] = tenant_row["violation_rate"]
+                if "warm_cost_dollars" in tenant_row:
+                    row[f"{name}_warm_cost"] = tenant_row["warm_cost_dollars"]
         return row
 
     # -------------------------------------------------------- serialization
@@ -450,6 +489,7 @@ class RunReport:
         load = dataclasses.asdict(dataclasses.replace(self.load, outcomes=[]))
         del load["outcomes"]
         data: dict = {
+            "schema_version": RUN_REPORT_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
             "load": load,
             "mean_service_seconds": self.mean_service_seconds,
@@ -470,6 +510,7 @@ class RunReport:
             "replica_warm_events",
             "faults",
             "tenants",
+            "warm_capacity_cost_dollars",
         ):
             value = getattr(self, key)
             if value is not None:
@@ -495,7 +536,10 @@ class RunReport:
 
         The rebuilt report carries empty ``outcomes`` and (for remediated
         runs) empty remediation record/anomaly lists — everything
-        :meth:`to_dict` serializes round-trips exactly.
+        :meth:`to_dict` serializes round-trips exactly.  Loading is
+        forward-compatible: unknown top-level keys and unknown ``load`` keys
+        (artifacts written by a newer ``schema_version``) are ignored rather
+        than rejected, so a recorded fleet survives schema growth.
         """
         autoscale = None
         if "autoscale" in data:
@@ -508,9 +552,11 @@ class RunReport:
         recovery = None
         if "recovery" in data:
             recovery = RecoveryMetrics(**data["recovery"])
+        load_fields = {field.name for field in dataclasses.fields(LoadReport)} - {"outcomes"}
+        load = {key: value for key, value in data["load"].items() if key in load_fields}
         return cls(
             spec=ScenarioSpec.from_dict(data["spec"]),
-            load=LoadReport(**data["load"], outcomes=[]),
+            load=LoadReport(**load, outcomes=[]),
             mean_service_seconds=data["mean_service_seconds"],
             slo_seconds=data.get("slo_seconds"),
             offered_rate_rps=data["offered_rate_rps"],
@@ -528,6 +574,7 @@ class RunReport:
             remediation=remediation,
             recovery=recovery,
             tenants=data.get("tenants"),
+            warm_capacity_cost_dollars=data.get("warm_capacity_cost_dollars"),
         )
 
     @classmethod
@@ -660,6 +707,21 @@ def run(spec: ScenarioSpec) -> RunReport:
         cached_bytes = store.flstore.cached_bytes
         live_keys = store.flstore.cluster.live_key_count
         warm_functions = store.flstore.warm_function_count
+    tenant_rows = report.tenant_rows or None
+    warm_capacity_cost = None
+    if tenant_rows:
+        # Warm capacity is a shared tier resource; for tenant runs, price the
+        # whole run (the autoscaler's exact provisioned-GB-seconds integral
+        # when one drove the run, else static capacity x horizon) and split
+        # it across tenants by share of requests that consumed service.
+        price = store.config.pricing.lambda_provisioned_cost_per_gb_second
+        if tier.autoscaler is not None:
+            warm_capacity_cost = tier.autoscaler.warm_capacity_cost_dollars
+        elif tier.sharded:
+            warm_capacity_cost = store.provisioned_gb * report.horizon_seconds * price
+        else:
+            warm_capacity_cost = store.platform.provisioned_gb * report.horizon_seconds * price
+        tenant_rows = attribute_warm_cost(tenant_rows, warm_capacity_cost)
     recovery = None
     if tier.fault_plan is not None and tier.fault_plan.first_onset_seconds is not None:
         recovery = compute_recovery_metrics(
@@ -685,5 +747,6 @@ def run(spec: ScenarioSpec) -> RunReport:
         faults=tier.fault_plan.summary() if tier.fault_plan is not None else None,
         remediation=tier.remediation.summary() if tier.remediation is not None else None,
         recovery=recovery,
-        tenants=report.tenant_rows or None,
+        tenants=tenant_rows,
+        warm_capacity_cost_dollars=warm_capacity_cost,
     )

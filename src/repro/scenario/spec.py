@@ -27,6 +27,7 @@ Design rules:
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field, fields
 from pathlib import Path
@@ -639,6 +640,30 @@ class ScenarioSpec:
     def with_overrides(self, overrides: Mapping[str, Any]) -> "ScenarioSpec":
         """A copy with dotted-path overrides applied (see :func:`apply_overrides`)."""
         return apply_overrides(self, overrides)
+
+    # ----------------------------------------------------- content addressing
+
+    def canonical_json(self) -> str:
+        """The spec's canonical serialization: minified, key-sorted JSON.
+
+        The single byte form behind :meth:`content_hash`.  Canonicalization
+        makes the hash independent of *representation* — dict key order,
+        JSON vs TOML file form, whitespace — while every *semantic* knob
+        (any field ``to_dict`` serializes) changes the bytes.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def content_hash(self) -> str:
+        """SHA-256 of :meth:`canonical_json` — the spec's content address.
+
+        Two specs hash equal iff their validated dict forms are equal: a
+        spec round-tripped through TOML, rebuilt from a key-shuffled dict,
+        or run through a no-op ``--set`` override keeps its hash, and any
+        change to a semantic knob changes it.  The run manifest
+        (:mod:`repro.fleet.manifest`) keys recorded artifacts on this hash,
+        so an edited scenario marks exactly its own cells stale.
+        """
+        return hashlib.sha256(self.canonical_json().encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------- file form
 

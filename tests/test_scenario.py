@@ -436,6 +436,28 @@ class TestRun:
         assert row["autoscaler"] == "predictive"
         assert "capacity_unit_seconds" in row and "warm_capacity_cost_dollars" in row
 
+    def test_serialized_report_carries_schema_version(self):
+        from repro.scenario.build import RUN_REPORT_SCHEMA_VERSION, RunReport
+
+        report = run(_tiny_spec())
+        data = report.to_dict()
+        assert data["schema_version"] == RUN_REPORT_SCHEMA_VERSION
+        assert RunReport.from_dict(data).to_dict() == data
+
+    def test_loading_tolerates_unknown_keys_from_a_future_schema(self):
+        from repro.scenario.build import RunReport
+
+        report = run(_tiny_spec())
+        data = report.to_dict()
+        data["schema_version"] = 99
+        data["a_future_section"] = {"metric": 1.0}
+        data["load"]["a_future_load_metric"] = 2.5
+        restored = RunReport.from_dict(data)
+        assert restored.conserved == report.conserved
+        assert restored.load.served == report.load.served
+        # Re-serializing drops the unknown keys and restamps the version.
+        assert restored.to_dict() == report.to_dict()
+
 
 # ---------------------------------------------------------------------------
 # sweep — the generic grid

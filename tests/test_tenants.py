@@ -299,8 +299,35 @@ def test_tenant_report_round_trips_through_json(noisy_neighbor_cells):
 def test_run_report_row_carries_per_tenant_columns(noisy_neighbor_cells):
     row = noisy_neighbor_cells[("wfq", 1.0)].row()
     for name in ("steady", "bursty"):
-        for suffix in ("p99", "share", "violations"):
+        for suffix in ("p99", "share", "violations", "warm_cost"):
             assert f"{name}_{suffix}" in row
+
+
+def test_warm_capacity_cost_is_attributed_by_served_share(noisy_neighbor_cells):
+    """The seed-7 cost-attribution pin: every tenant run prices its warm
+    capacity and splits the total across tenants by share of requests that
+    consumed service — shares sum to 1, dollars sum to the run total."""
+    for (discipline, load), report in noisy_neighbor_cells.items():
+        total = report.warm_capacity_cost_dollars
+        assert total is not None and total > 0.0, (discipline, load)
+        shares = [row["warm_cost_share"] for row in report.tenants]
+        dollars = [row["warm_cost_dollars"] for row in report.tenants]
+        assert sum(shares) == pytest.approx(1.0), (discipline, load)
+        assert sum(dollars) == pytest.approx(total), (discipline, load)
+        served = [row["served"] + row["requeued"] for row in report.tenants]
+        for share, weight in zip(shares, served):
+            assert share == pytest.approx(weight / sum(served)), (discipline, load)
+
+
+def test_warm_cost_attribution_is_deterministic_at_seed_7():
+    spec = smoke_spec(get_scenario("noisy-neighbor"))
+    assert spec.seed == 7
+    first, second = run(spec), run(spec)
+    assert first.warm_capacity_cost_dollars == second.warm_capacity_cost_dollars
+    assert first.tenants == second.tenants
+    restored = RunReport.from_json(first.to_json())
+    assert restored.warm_capacity_cost_dollars == first.warm_capacity_cost_dollars
+    assert restored.tenants == first.tenants
 
 
 # ---------------------------------------------------------------------------
